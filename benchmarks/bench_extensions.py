@@ -1,0 +1,169 @@
+"""Ablation benches for the design choices DESIGN.md calls out, plus
+the paper's Sect. 6.2 extension.
+
+* **Latency sensitivity** -- the paper's whole premise: the lock-based
+  shared-memory algorithm degrades far faster than the lock-less
+  distmem algorithm as remote references get more expensive.  We sweep
+  the remote-reference cost and check the divergence.
+* **MPI polling interval** -- Sect. 3.2's "user-supplied parameter":
+  too-frequent polling wastes the worker, too-rare polling starves the
+  thieves.  We check the mpi-ws sweet spot is interior.
+* **Hierarchical stealing** (``upc-distmem-hier``) -- the Sect. 6.2
+  future work: probing on-node ranks first must not hurt, and shifts
+  probe traffic onto the cheap intra-node links.
+"""
+
+import pytest
+from conftest import CHECK_SHAPE, SCALE, run_once
+
+from repro import KITTYHAWK, TreeParams, WsConfig, expected_node_count, run_experiment
+from repro.harness.ascii_plot import series_table
+
+TREE = {
+    "test": TreeParams.binomial(b0=100, m=2, q=0.49, seed=0),
+    "quick": TreeParams.binomial(b0=500, m=2, q=0.499, seed=0),
+    "full": TreeParams.binomial(b0=2000, m=2, q=0.4995, seed=0,
+                                engine="splitmix"),
+}[SCALE]
+THREADS = {"test": 8, "quick": 16, "full": 32}[SCALE]
+
+
+def test_latency_sensitivity_ablation(benchmark, capsys):
+    """sharedmem degrades faster than distmem as remote refs get slower."""
+    expected = expected_node_count(TREE)
+    factors = [0.25, 1.0, 4.0]
+
+    def sweep():
+        out = {}
+        for alg in ("upc-distmem", "upc-sharedmem"):
+            out[alg] = []
+            for f in factors:
+                net = KITTYHAWK.with_overrides(
+                    remote_shared_ref=KITTYHAWK.remote_shared_ref * f,
+                    rdma_latency=KITTYHAWK.rdma_latency * f,
+                    lock_overhead=KITTYHAWK.lock_overhead * f,
+                )
+                res = run_experiment(alg, tree=TREE, threads=THREADS,
+                                     net=net, chunk_size=4)
+                res.verify(expected)
+                out[alg].append(res)
+        return out
+
+    results = run_once(benchmark, sweep)
+    rows = [[alg, f, round(r.nodes_per_sec / 1e6, 3)]
+            for alg, runs in results.items()
+            for f, r in zip(factors, runs)]
+    with capsys.disabled():
+        print("\n=== latency-sensitivity ablation ===")
+        print(series_table(["algorithm", "latency_x", "Mnodes/s"], rows))
+
+    def degradation(alg):
+        runs = results[alg]
+        return runs[0].nodes_per_sec / runs[-1].nodes_per_sec
+
+    benchmark.extra_info["sharedmem_degradation"] = round(
+        degradation("upc-sharedmem"), 2)
+    benchmark.extra_info["distmem_degradation"] = round(
+        degradation("upc-distmem"), 2)
+    if CHECK_SHAPE:
+        assert degradation("upc-sharedmem") > degradation("upc-distmem"), \
+            "sharedmem should be the latency-sensitive algorithm"
+
+
+def test_mpi_polling_interval_sweep(benchmark, capsys):
+    """The mpi-ws polling interval has an interior sweet spot."""
+    expected = expected_node_count(TREE)
+    intervals = [4, 32, 512]
+
+    def sweep():
+        out = []
+        for pi in intervals:
+            cfg = WsConfig(chunk_size=4, poll_interval=pi)
+            res = run_experiment("mpi-ws", tree=TREE, threads=THREADS,
+                                 preset="kittyhawk", config=cfg)
+            res.verify(expected)
+            out.append(res)
+        return out
+
+    runs = run_once(benchmark, sweep)
+    rows = [[pi, round(r.nodes_per_sec / 1e6, 3)]
+            for pi, r in zip(intervals, runs)]
+    with capsys.disabled():
+        print("\n=== mpi-ws polling-interval sweep ===")
+        print(series_table(["poll_interval", "Mnodes/s"], rows))
+    benchmark.extra_info["rates"] = {pi: round(r.nodes_per_sec / 1e6, 3)
+                                     for pi, r in zip(intervals, runs)}
+    if CHECK_SHAPE:
+        # Very coarse polling starves thieves relative to the default.
+        assert runs[-1].nodes_per_sec < 1.02 * max(r.nodes_per_sec
+                                                   for r in runs[:-1])
+
+
+def test_am_mode_performance_portability(benchmark, capsys):
+    """Sect. 6.1 ablation: the same UPC program on hardware one-sided
+    support vs an active-message runtime (the `bupc_poll()` world).
+    UPC's advantage over MPI should narrow without hardware RDMA."""
+    expected = expected_node_count(TREE)
+    am_net = KITTYHAWK.with_overrides(am_mode=True)
+
+    def sweep():
+        out = {}
+        for label, kw in (("hw", dict(preset="kittyhawk")),
+                          ("am", dict(net=am_net))):
+            out[label] = {
+                alg: run_experiment(alg, tree=TREE, threads=THREADS,
+                                    chunk_size=8, **kw)
+                for alg in ("upc-distmem", "mpi-ws")
+            }
+            for r in out[label].values():
+                r.verify(expected)
+        return out
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for label, runs in results.items():
+        for alg, r in runs.items():
+            rows.append([label, alg, round(r.nodes_per_sec / 1e6, 3)])
+    with capsys.disabled():
+        print("\n=== AM-emulation (no hardware RDMA) ablation ===")
+        print(series_table(["runtime", "algorithm", "Mnodes/s"], rows))
+
+    hw_ratio = (results["hw"]["upc-distmem"].nodes_per_sec /
+                results["hw"]["mpi-ws"].nodes_per_sec)
+    am_ratio = (results["am"]["upc-distmem"].nodes_per_sec /
+                results["am"]["mpi-ws"].nodes_per_sec)
+    benchmark.extra_info["upc_over_mpi_hw"] = round(hw_ratio, 3)
+    benchmark.extra_info["upc_over_mpi_am"] = round(am_ratio, 3)
+    if CHECK_SHAPE:
+        assert results["am"]["upc-distmem"].sim_time > \
+            results["hw"]["upc-distmem"].sim_time
+        assert am_ratio < hw_ratio * 1.02
+
+
+def test_hierarchical_stealing_extension(benchmark, capsys):
+    """Sect. 6.2 extension: on-node-first probing is competitive and
+    moves probe traffic on-node."""
+    expected = expected_node_count(TREE)
+
+    def pair():
+        flat = run_experiment("upc-distmem", tree=TREE, threads=THREADS,
+                              preset="kittyhawk", chunk_size=8)
+        hier = run_experiment("upc-distmem-hier", tree=TREE, threads=THREADS,
+                              preset="kittyhawk", chunk_size=8)
+        flat.verify(expected)
+        hier.verify(expected)
+        return flat, hier
+
+    flat, hier = run_once(benchmark, pair)
+    with capsys.disabled():
+        print("\n=== hierarchical stealing (Sect. 6.2 extension) ===")
+        print(series_table(
+            ["variant", "Mnodes/s", "eff_%", "steals"],
+            [["upc-distmem", round(flat.nodes_per_sec / 1e6, 3),
+              round(flat.efficiency * 100, 1), flat.stats.steals_ok],
+             ["upc-distmem-hier", round(hier.nodes_per_sec / 1e6, 3),
+              round(hier.efficiency * 100, 1), hier.stats.steals_ok]]))
+    ratio = hier.nodes_per_sec / flat.nodes_per_sec
+    benchmark.extra_info["hier_over_flat"] = round(ratio, 3)
+    if CHECK_SHAPE:
+        assert ratio > 0.9, f"hierarchical variant regressed: {ratio:.3f}"

@@ -1,0 +1,65 @@
+"""E2 -- Figure 4: speedup & absolute performance vs chunk size.
+
+Paper setup: 256 threads on the Kitty Hawk cluster, the 10.6B-node T1
+tree, all five implementations, chunk sizes swept.  Reproduction setup
+(scaled; see EXPERIMENTS.md): same five implementations and cost model,
+scaled thread count and tree.
+
+Shape checks asserted here (the paper's qualitative claims):
+
+* the distributed-memory algorithm is the best UPC implementation and
+  at least matches the MPI baseline at the sweet spot;
+* ``upc-sharedmem`` collapses at small chunk sizes;
+* performance falls off at the large-``k`` end (too little balancing).
+"""
+
+from conftest import CHECK_SHAPE, SCALE, run_once
+
+from repro.harness.figures import figure4
+
+
+def test_figure4(benchmark, capsys):
+    result = run_once(benchmark, lambda: figure4(scale=SCALE))
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    sweep = result.sweep
+    ks = sweep.setup.chunk_sizes
+
+    best_distmem = sweep.best("upc-distmem")
+    best_sharedmem = sweep.best("upc-sharedmem")
+    best_mpi = sweep.best("mpi-ws")
+
+    benchmark.extra_info["best_distmem_k"] = best_distmem.chunk_size
+    benchmark.extra_info["best_distmem_eff"] = round(best_distmem.efficiency, 3)
+    benchmark.extra_info["distmem_over_sharedmem"] = round(
+        best_distmem.nodes_per_sec / best_sharedmem.nodes_per_sec, 3)
+    benchmark.extra_info["distmem_over_mpi"] = round(
+        best_distmem.nodes_per_sec / best_mpi.nodes_per_sec, 3)
+
+    if not CHECK_SHAPE:
+        return
+
+    # Claim: distmem is the best UPC implementation at the sweet spot.
+    assert best_distmem.nodes_per_sec >= 0.95 * best_sharedmem.nodes_per_sec
+    assert best_distmem.nodes_per_sec >= \
+        sweep.best("upc-term").nodes_per_sec * 0.95
+
+    # Claim: distmem at least matches MPI ("slightly outperforms").
+    assert best_distmem.nodes_per_sec >= 0.95 * best_mpi.nodes_per_sec
+
+    # Claim: sharedmem suffers extreme degradation at the smallest k
+    # relative to its own sweet spot...
+    small_k = min(ks)
+    sm_small = sweep.get("upc-sharedmem", chunk_size=small_k)
+    assert sm_small.nodes_per_sec < 0.6 * best_sharedmem.nodes_per_sec
+    # ... and relative to distmem at the same k.
+    dm_small = sweep.get("upc-distmem", chunk_size=small_k)
+    assert sm_small.nodes_per_sec < dm_small.nodes_per_sec
+
+    # Claim: the sweet spot is interior -- performance falls at large k.
+    big_k = max(ks)
+    dm_big = sweep.get("upc-distmem", chunk_size=big_k)
+    assert best_distmem.chunk_size < big_k
+    assert dm_big.nodes_per_sec <= best_distmem.nodes_per_sec

@@ -1,0 +1,66 @@
+"""E3 + E6 -- Figure 5 (Topsail scaling) and the headline claims.
+
+Paper setup: the 157B-node T3 tree on Topsail, up to 1024 processors;
+upc-distmem processes 1.7B nodes/s (speedup 819, efficiency 80%) while
+sustaining >85,000 steals/s, with 93% of working-state time.
+
+Reproduction (scaled; see EXPERIMENTS.md): same algorithms and cost
+model with thread counts and tree scaled together.  Shape checks:
+
+* near-linear scaling at the low end, graceful tapering at the top;
+* upc-distmem >= mpi-ws across the curve;
+* at the top of the curve the run sustains a five-figure steal rate.
+"""
+
+from conftest import CHECK_SHAPE, SCALE, run_once
+
+from repro.harness.figures import figure5, headline_claims
+
+
+def test_figure5(benchmark, capsys):
+    result = run_once(benchmark, lambda: figure5(scale=SCALE))
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    sweep = result.sweep
+    threads = sweep.setup.thread_counts
+    top = sweep.get("upc-distmem", threads=threads[-1])
+    benchmark.extra_info["top_threads"] = top.n_threads
+    benchmark.extra_info["top_speedup"] = round(top.speedup, 1)
+    benchmark.extra_info["top_efficiency"] = round(top.efficiency, 3)
+    benchmark.extra_info["top_steals_per_sec"] = round(top.steals_per_sec)
+    if not CHECK_SHAPE:
+        return
+
+    # Near-linear at the low end.
+    low = sweep.get("upc-distmem", threads=threads[0])
+    assert low.efficiency > 0.85
+
+    # Monotone speedup along the curve.
+    curve = [sweep.get("upc-distmem", threads=t) for t in threads]
+    speedups = [r.speedup for r in curve]
+    assert speedups == sorted(speedups)
+
+    # distmem at least matches mpi at every thread count.
+    for t in threads:
+        dm = sweep.get("upc-distmem", threads=t)
+        mpi = sweep.get("mpi-ws", threads=t)
+        assert dm.nodes_per_sec >= 0.95 * mpi.nodes_per_sec
+
+def test_headline_claims(benchmark, capsys):
+    claims = run_once(benchmark, lambda: headline_claims(scale=SCALE))
+    with capsys.disabled():
+        print()
+        print(claims.render())
+    r = claims.run
+    benchmark.extra_info["efficiency"] = round(r.efficiency, 3)
+    benchmark.extra_info["steals_per_sec"] = round(r.steals_per_sec)
+    benchmark.extra_info["working_fraction"] = round(r.working_fraction, 3)
+    if not CHECK_SHAPE:
+        return
+    # The sustained steal rate claim (>85k/s in the paper) holds in the
+    # scaled regime too -- steals are continuous, not an artifact.
+    assert r.steals_per_sec > 10_000
+    # The efficiency band: meaningfully parallel at the top of the curve.
+    assert r.efficiency > 0.5

@@ -1,0 +1,52 @@
+"""E4 -- Figure 6: shared-memory performance (SGI Altix 3700 model).
+
+Paper setup: Itanium2 Altix, up to 64 processors; both UPC algorithms
+scale near-linearly ("results are close for both UPC implementations")
+while MPI lags slightly "due to poor cache behavior and MPI overheads".
+
+Shape checks:
+
+* both UPC implementations near-linear (high efficiency) on the
+  low-latency fabric;
+* the two UPC curves are close -- performance portability: the
+  distributed-memory algorithm gives up nothing on shared memory;
+* mpi-ws at or below the UPC implementations.
+"""
+
+from conftest import CHECK_SHAPE, SCALE, run_once
+
+from repro.harness.figures import figure6
+
+
+def test_figure6(benchmark, capsys):
+    result = run_once(benchmark, lambda: figure6(scale=SCALE))
+    with capsys.disabled():
+        print()
+        print(result.render())
+
+    sweep = result.sweep
+    threads = sweep.setup.thread_counts
+    top = sweep.get("upc-distmem", threads=threads[-1])
+    benchmark.extra_info["top_threads"] = top.n_threads
+    benchmark.extra_info["top_efficiency"] = round(top.efficiency, 3)
+    if not CHECK_SHAPE:
+        return
+
+    # Near-linear speedup for both UPC implementations at the low end.
+    for alg in ("upc-sharedmem", "upc-distmem"):
+        low = sweep.get(alg, threads=threads[0])
+        assert low.efficiency > 0.9, f"{alg} not near-linear on Altix"
+
+    # The two UPC curves stay close across the sweep (within 20%).
+    for t in threads:
+        sm = sweep.get("upc-sharedmem", threads=t)
+        dm = sweep.get("upc-distmem", threads=t)
+        ratio = dm.nodes_per_sec / sm.nodes_per_sec
+        assert 0.8 < ratio < 1.25, f"UPC curves diverged at T={t}: {ratio:.2f}"
+
+    # MPI lags slightly behind the best UPC implementation.
+    for t in threads:
+        best_upc = max(sweep.get("upc-sharedmem", threads=t).nodes_per_sec,
+                       sweep.get("upc-distmem", threads=t).nodes_per_sec)
+        mpi = sweep.get("mpi-ws", threads=t)
+        assert mpi.nodes_per_sec <= 1.05 * best_upc

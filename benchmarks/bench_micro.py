@@ -1,0 +1,74 @@
+"""Microbenchmarks of the substrates (pytest-benchmark's home turf).
+
+Not paper figures -- these watch for regressions in the hot paths the
+figure benches depend on: the discrete-event engine, tree-node
+generation per engine, and a small end-to-end simulated run.
+"""
+
+import pytest
+
+from repro import TreeParams, run_experiment
+from repro.sim import Simulator, Timeout
+from repro.uts.rng import get_engine
+from repro.uts.tree import Tree
+
+MICRO_TREE = TreeParams.binomial(b0=50, m=2, q=0.47, seed=3)
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw engine speed: 10k timeout events through the heap."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(10_000):
+                yield Timeout(1e-6)
+
+        sim.spawn(proc())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+@pytest.mark.parametrize("engine", ["sha1", "splitmix"])
+def test_node_expansion_rate(benchmark, engine):
+    """children() throughput -- the inner loop of everything."""
+    tree = Tree(MICRO_TREE.with_engine(engine))
+    nodes = list(tree.iter_dfs())[:2000]
+
+    def expand():
+        total = 0
+        children = tree.children
+        for n in nodes:
+            total += len(children(n))
+        return total
+
+    total = benchmark(expand)
+    assert total > 0
+
+
+def test_rng_spawn_rate(benchmark):
+    engine = get_engine("sha1")
+    state = engine.init(0)
+
+    def spawn_many():
+        s = state
+        for i in range(5000):
+            s = engine.spawn(s, i & 3)
+        return s
+
+    benchmark(spawn_many)
+
+
+def test_small_end_to_end_run(benchmark):
+    """A complete simulated distmem run on a small tree."""
+
+    def run():
+        return run_experiment("upc-distmem", tree=MICRO_TREE, threads=8,
+                              preset="kittyhawk", chunk_size=4)
+
+    res = benchmark(run)
+    assert res.total_nodes > 0

@@ -1,0 +1,33 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Scale selection: set ``REPRO_SCALE`` to ``test``, ``quick`` (default)
+or ``full``.  ``quick`` regenerates every figure in a few minutes;
+``full`` produces the EXPERIMENTS.md flagship numbers (tens of
+minutes).
+
+Each figure benchmark runs its sweep exactly once (``pedantic`` with
+one round -- the sweep is deterministic, so repetition only wastes
+time), records the paper-comparable metrics in ``extra_info``, and
+prints the series so the figure is readable straight from the pytest
+output (run with ``-s`` to see the tables).
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "quick")
+
+#: Shape assertions (the paper's qualitative claims) need enough scale
+#: to manifest; at the smoke-test scale we only check conservation.
+CHECK_SHAPE = SCALE != "test"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic sweep exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

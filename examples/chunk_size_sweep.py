@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The chunk-size "sweet spot" (paper Sect. 4.2.1 / Figure 4).
+
+Sweeps the work-stealing granularity ``k`` for two algorithms on the
+Kitty Hawk cluster model and prints the performance curve, showing:
+
+* the plateau of good chunk sizes,
+* the collapse of the shared-memory algorithm at small ``k`` (every
+  release resets the cancelable barrier under lock),
+* falling performance at large ``k`` (work too coarse to balance).
+
+    python examples/chunk_size_sweep.py
+"""
+
+from repro import TreeParams, expected_node_count, run_experiment
+from repro.harness.ascii_plot import ascii_chart
+
+TREE = TreeParams.binomial(b0=500, m=2, q=0.499, seed=0)
+THREADS = 16
+CHUNK_SIZES = [1, 2, 4, 8, 16, 32, 64]
+ALGORITHMS = ["upc-distmem", "upc-sharedmem"]
+
+
+def main() -> None:
+    expected = expected_node_count(TREE)
+    print(f"tree: {TREE.describe()} ({expected:,} nodes), "
+          f"{THREADS} threads, kittyhawk model\n")
+
+    series = {}
+    for alg in ALGORITHMS:
+        points = []
+        for k in CHUNK_SIZES:
+            res = run_experiment(alg, tree=TREE, threads=THREADS,
+                                 preset="kittyhawk", chunk_size=k)
+            res.verify(expected)
+            points.append((k, res.nodes_per_sec / 1e6))
+            print(f"{alg:>14s} k={k:<3d} {res.nodes_per_sec / 1e6:7.2f} Mnodes/s "
+                  f"(eff {res.efficiency * 100:5.1f}%, "
+                  f"{res.stats.steals_ok} steals, "
+                  f"{res.stats.releases} releases)")
+        series[alg] = points
+        best_k = max(points, key=lambda p: p[1])[0]
+        print(f"{alg:>14s} sweet spot: k = {best_k}\n")
+
+    print(ascii_chart(series, x_label="chunk size k", y_label="Mnodes/s",
+                      log_x=True, title="performance vs chunk size"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""The distmem protocol on real OS threads (correctness demo).
+
+Everything else in this package runs on a deterministic simulator; this
+demo runs the same lock-less request/response protocol with genuine
+``threading.Thread`` workers racing each other, and cross-checks the
+node count against the sequential oracle.  (The GIL means no actual
+speedup -- this validates the protocol logic, not performance.)
+
+    python examples/native_threads_demo.py
+"""
+
+import time
+
+from repro import TreeParams, expected_node_count
+from repro.native import native_distmem_search
+
+
+def main() -> None:
+    tree = TreeParams.binomial(b0=300, m=2, q=0.49, seed=0)
+    expected = expected_node_count(tree)
+    print(f"tree: {tree.describe()} ({expected:,} nodes)\n")
+
+    for threads in (1, 2, 4, 8):
+        t0 = time.perf_counter()
+        res = native_distmem_search(tree, threads=threads, chunk_size=4)
+        res.verify(expected)
+        spread = ", ".join(f"{n:,}" for n in res.per_thread_nodes)
+        print(f"{threads} threads: count OK in {time.perf_counter() - t0:.2f}s "
+              f"| steals={res.steals_ok:3d} denied={res.requests_denied:3d} "
+              f"| per-thread nodes: [{spread}]")
+
+    print("\nEvery run counted the tree exactly -- the lock-less protocol "
+          "survives real preemption.")
+
+
+if __name__ == "__main__":
+    main()

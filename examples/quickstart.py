@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: one parallel UTS search on the simulated cluster.
+
+Runs the paper's best algorithm (``upc-distmem``) on a moderately
+unbalanced tree with 16 simulated UPC threads using the Kitty Hawk
+cluster cost model, verifies the count against the sequential oracle,
+and prints the metrics the paper reports.
+
+    python examples/quickstart.py
+"""
+
+from repro import TreeParams, expected_node_count, run_experiment
+
+
+def main() -> None:
+    # A ~215k-node binomial UTS tree: the root has 500 children; below
+    # it, nodes fork with probability q=0.499 -- close enough to the
+    # critical 0.5 that subtree sizes are wildly imbalanced.
+    tree = TreeParams.binomial(b0=500, m=2, q=0.499, seed=0)
+
+    print(f"tree: {tree.describe()}")
+    print(f"sequential node count: {expected_node_count(tree):,}")
+    print()
+
+    result = run_experiment(
+        "upc-distmem",       # the paper's distributed-memory algorithm
+        tree=tree,
+        threads=16,          # simulated UPC threads
+        preset="kittyhawk",  # Infiniband cluster cost model
+        chunk_size=8,        # work-stealing granularity k
+        verify=True,         # assert the parallel count is exact
+    )
+
+    print(result.summary())
+    print()
+    print(f"simulated time      : {result.sim_time * 1e3:.2f} ms")
+    print(f"speedup             : {result.speedup:.1f} on {result.n_threads} threads")
+    print(f"parallel efficiency : {result.efficiency * 100:.1f}%")
+    print(f"steal operations    : {result.stats.steals_ok:,} "
+          f"({result.steals_per_sec:,.0f}/s)")
+    print(f"working-state share : {result.working_fraction * 100:.1f}%")
+    print(f"(host took {result.host_seconds:.2f}s to simulate "
+          f"{result.engine_events:,} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Strong scaling of upc-distmem vs mpi-ws (paper Sect. 4.2.2 / Figure 5).
+
+Doubles the simulated thread count and reports speedup, efficiency and
+the sustained steal rate -- the regime where the paper reports 80%
+efficiency at 1024 processors with >85,000 steals/s.
+
+    python examples/scaling_study.py [--big]
+
+``--big`` uses a ~1.5M-node tree (about a minute of host time) whose
+top-of-curve efficiency matches the paper's headline band.
+"""
+
+import sys
+
+from repro import TreeParams, expected_node_count, run_experiment
+from repro.harness.ascii_plot import ascii_chart, series_table
+
+
+def main() -> None:
+    big = "--big" in sys.argv
+    if big:
+        tree = TreeParams.binomial(b0=2000, m=2, q=0.4995, seed=0,
+                                   engine="splitmix")
+        thread_counts = [2, 4, 8, 16, 32]
+    else:
+        tree = TreeParams.binomial(b0=500, m=2, q=0.499, seed=0)
+        thread_counts = [2, 4, 8, 16]
+
+    expected = expected_node_count(tree)
+    print(f"tree: {tree.describe()} ({expected:,} nodes), topsail model\n")
+
+    rows = []
+    series = {}
+    for alg in ("upc-distmem", "mpi-ws"):
+        points = []
+        for t in thread_counts:
+            res = run_experiment(alg, tree=tree, threads=t,
+                                 preset="topsail", chunk_size=8)
+            res.verify(expected)
+            rows.append([alg, t, round(res.speedup, 2),
+                         round(res.efficiency * 100, 1),
+                         round(res.nodes_per_sec / 1e6, 2),
+                         round(res.steals_per_sec, 0)])
+            points.append((t, res.speedup))
+        series[alg] = points
+
+    print(series_table(
+        ["algorithm", "threads", "speedup", "eff_%", "Mnodes/s", "steals/s"],
+        rows))
+    print()
+    print(ascii_chart(series, x_label="threads", y_label="speedup",
+                      log_x=True, title="strong scaling"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+pip's PEP-660 editable path (which shells out to ``bdist_wheel``) fails.
+This shim keeps ``python setup.py develop`` / legacy ``pip install -e .``
+working offline; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

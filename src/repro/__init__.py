@@ -1,0 +1,66 @@
+"""repro: a reproduction of *Scalable Dynamic Load Balancing Using UPC*
+(Olivier & Prins, ICPP 2008).
+
+The package implements the Unbalanced Tree Search benchmark, a
+discrete-event simulated PGAS (UPC-like) machine with per-platform
+communication cost models, and the paper's five load-balancing
+implementations (four UPC variants plus the MPI baseline).
+
+Quickstart::
+
+    from repro import run_experiment, TreeParams
+
+    result = run_experiment(
+        "upc-distmem",
+        tree=TreeParams.binomial(b0=64, q=0.48, seed=1),
+        threads=16,
+        preset="kittyhawk",
+        chunk_size=8,
+        verify=True,
+    )
+    print(result.summary())
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    EventLimitExceeded,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.harness.runner import expected_node_count, run_experiment
+from repro.metrics import RunResult
+from repro.net import ALTIX, KITTYHAWK, PRESETS, SHAREDMEM, TOPSAIL, NetworkModel, get_preset
+from repro.uts import T1_PAPER, T3_PAPER, Tree, TreeParams, count_tree
+from repro.ws import ALGORITHMS, FIGURE_ORDER, WsConfig, get_algorithm
+
+__all__ = [
+    "__version__",
+    "run_experiment",
+    "expected_node_count",
+    "RunResult",
+    "TreeParams",
+    "Tree",
+    "count_tree",
+    "T1_PAPER",
+    "T3_PAPER",
+    "NetworkModel",
+    "get_preset",
+    "PRESETS",
+    "KITTYHAWK",
+    "TOPSAIL",
+    "ALTIX",
+    "SHAREDMEM",
+    "WsConfig",
+    "ALGORITHMS",
+    "FIGURE_ORDER",
+    "get_algorithm",
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "EventLimitExceeded",
+    "ProtocolError",
+    "ConfigError",
+]

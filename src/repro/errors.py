@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable events remain but live processes are still blocked."""
+
+
+class EventLimitExceeded(SimulationError):
+    """The simulation exceeded its configured event budget.
+
+    Raised to protect against runaway protocol bugs (e.g. livelock in a
+    termination detector) rather than spinning forever.
+    """
+
+
+class ProtocolError(ReproError):
+    """A load-balancing protocol violated one of its invariants."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment, machine, or tree configuration."""

@@ -1,0 +1,180 @@
+"""``repro-uts`` command-line interface.
+
+Examples::
+
+    repro-uts run --algorithm upc-distmem --threads 16 --chunk-size 8
+    repro-uts fig4 --scale quick --json results/fig4.json
+    repro-uts claims --scale full
+    repro-uts all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import figures
+from repro.harness.config import SCALES
+from repro.harness.io import save_csv, save_json
+from repro.harness.runner import run_experiment
+from repro.net.presets import PRESETS
+from repro.uts.params import TreeParams
+from repro.ws.algorithms import ALGORITHMS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-uts",
+        description="Reproduction harness for 'Scalable Dynamic Load "
+                    "Balancing Using UPC' (ICPP 2008)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="one experiment")
+    run_p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                       default="upc-distmem")
+    run_p.add_argument("--threads", type=int, default=16)
+    run_p.add_argument("--chunk-size", type=int, default=8)
+    run_p.add_argument("--preset", choices=sorted(PRESETS), default="kittyhawk")
+    run_p.add_argument("--b0", type=int, default=500)
+    run_p.add_argument("--q", type=float, default=0.499)
+    run_p.add_argument("--tree-seed", type=int, default=0)
+    run_p.add_argument("--engine", default="sha1",
+                       choices=["sha1", "sha1-pure", "splitmix"])
+    run_p.add_argument("--no-verify", action="store_true")
+
+    for fig in ("fig4", "fig5", "fig6", "ablation", "claims", "all"):
+        fp = sub.add_parser(fig, help=f"reproduce {fig}")
+        fp.add_argument("--scale", choices=SCALES, default="quick")
+        fp.add_argument("--json", help="write results as JSON to this path")
+        fp.add_argument("--csv", help="write results as CSV to this path")
+
+    tl = sub.add_parser("timeline", help="render per-thread execution timeline")
+    tl.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                    default="upc-distmem")
+    tl.add_argument("--threads", type=int, default=8)
+    tl.add_argument("--chunk-size", type=int, default=4)
+    tl.add_argument("--preset", choices=sorted(PRESETS), default="kittyhawk")
+    tl.add_argument("--b0", type=int, default=200)
+    tl.add_argument("--q", type=float, default=0.49)
+    tl.add_argument("--tree-seed", type=int, default=0)
+    tl.add_argument("--width", type=int, default=72)
+
+    val = sub.add_parser("validate", help="conservation grid over all algorithms")
+    val.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    val.add_argument("--threads", type=int, nargs="+", default=[1, 3, 8])
+    val.add_argument("--chunk-sizes", type=int, nargs="+", default=[1, 4, 16])
+    val.add_argument("--quiet", action="store_true")
+
+    rep = sub.add_parser("report", help="full markdown reproduction report")
+    rep.add_argument("--scale", choices=SCALES, default="quick")
+    rep.add_argument("--out", help="write the report to this path")
+
+    sub.add_parser("seq", help="Sect. 4.1 sequential baseline table")
+    return p
+
+
+def _echo(line: str) -> None:
+    print(line, flush=True)
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    tree = TreeParams.binomial(b0=args.b0, q=args.q, seed=args.tree_seed,
+                               engine=args.engine)
+    res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
+                         preset=args.preset, chunk_size=args.chunk_size,
+                         verify=not args.no_verify)
+    print(res.summary())
+    print(f"working-state share: {100 * res.working_fraction:.1f}%")
+    return 0
+
+
+def _suffixed(path: str, name: str) -> str:
+    """results/full.json -> results/full_fig4.json (for `all` runs)."""
+    from pathlib import Path
+
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}_{name}{p.suffix}"))
+
+
+def _run_figure(name: str, args: argparse.Namespace,
+                suffix_outputs: bool = False) -> int:
+    fn = {"fig4": figures.figure4, "fig5": figures.figure5,
+          "fig6": figures.figure6}[name]
+    result = fn(scale=args.scale, progress=_echo)
+    print()
+    print(result.render())
+    if args.json:
+        path = _suffixed(args.json, name) if suffix_outputs else args.json
+        print(f"wrote {save_json(result, path)}")
+    if args.csv:
+        path = _suffixed(args.csv, name) if suffix_outputs else args.csv
+        print(f"wrote {save_csv(result, path)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cmd = args.command
+    if cmd == "run":
+        return _run_single(args)
+    if cmd in ("fig4", "fig5", "fig6"):
+        return _run_figure(cmd, args)
+    if cmd == "ablation":
+        print(figures.ablation(scale=args.scale, progress=_echo).render())
+        return 0
+    if cmd == "claims":
+        print(figures.headline_claims(scale=args.scale, progress=_echo).render())
+        return 0
+    if cmd == "seq":
+        print(figures.sequential_baseline())
+        return 0
+    if cmd == "report":
+        from repro.harness.report_md import generate_report
+
+        text = generate_report(scale=args.scale, out=args.out,
+                               progress=_echo)
+        if args.out:
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+    if cmd == "timeline":
+        from repro.metrics import render_timeline
+        from repro.sim import Tracer
+
+        tracer = Tracer()
+        tree = TreeParams.binomial(b0=args.b0, q=args.q, seed=args.tree_seed)
+        res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
+                             preset=args.preset, chunk_size=args.chunk_size,
+                             tracer=tracer, verify=True)
+        print(res.summary())
+        print(render_timeline(tracer, args.threads, res.sim_time,
+                              width=args.width))
+        return 0
+    if cmd == "validate":
+        from repro.harness.validate import validate_grid
+
+        report = validate_grid(seeds=args.seeds, thread_counts=args.threads,
+                               chunk_sizes=args.chunk_sizes,
+                               progress=None if args.quiet else _echo)
+        print(report.render())
+        return 0 if report.ok else 1
+    if cmd == "all":
+        for name in ("fig4", "fig5", "fig6"):
+            _run_figure(name, args, suffix_outputs=True)
+            print()
+        print(figures.ablation(scale=args.scale).render())
+        print()
+        print(figures.headline_claims(scale=args.scale).render())
+        print()
+        print(figures.sequential_baseline())
+        return 0
+    raise AssertionError(f"unhandled command {cmd}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Top-level experiment runner: one call, one :class:`RunResult`.
+
+    >>> from repro import run_experiment, TreeParams
+    >>> res = run_experiment("upc-distmem",
+    ...                      tree=TreeParams.binomial(b0=32, q=0.45, seed=1),
+    ...                      threads=8, preset="kittyhawk", chunk_size=4)
+    >>> res.total_nodes > 0
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.metrics.report import RunResult
+from repro.net.model import NetworkModel
+from repro.net.presets import get_preset
+from repro.pgas.machine import Machine
+from repro.sim.trace import Tracer
+from repro.uts.params import TreeParams
+from repro.uts.sequential import count_tree
+from repro.uts.tree import Tree
+from repro.ws.algorithms import get_algorithm
+from repro.ws.config import WsConfig
+
+__all__ = ["run_experiment", "expected_node_count"]
+
+
+@lru_cache(maxsize=128)
+def expected_node_count(params: TreeParams) -> int:
+    """Sequential node count, cached per tree parameterization."""
+    return count_tree(params).n_nodes
+
+
+def run_experiment(
+    algorithm: str,
+    tree,
+    threads: int,
+    preset: str = "kittyhawk",
+    chunk_size: int = 8,
+    *,
+    net: Optional[NetworkModel] = None,
+    config: Optional[WsConfig] = None,
+    seed: int = 0,
+    verify: bool = False,
+    tracer: Optional[Tracer] = None,
+    max_events: int = 50_000_000,
+) -> RunResult:
+    """Run one parallel UTS search on the simulated machine.
+
+    Parameters
+    ----------
+    algorithm:
+        One of the Figure-3 labels (``upc-distmem``, ``mpi-ws``, ...).
+    tree:
+        The UTS tree to search (a :class:`~repro.uts.params.TreeParams`),
+        or any custom implicit search space exposing ``root() -> node``
+        and ``children(node) -> list`` -- the work-stealing framework is
+        workload-agnostic (see ``examples/custom_search_space.py``).
+        ``verify=True`` requires ``TreeParams`` (the sequential oracle).
+    threads:
+        Number of simulated UPC threads.
+    preset:
+        Platform cost model (``kittyhawk``, ``topsail``, ``altix``,
+        ``sharedmem``); ignored when ``net`` is given explicitly.
+    chunk_size:
+        Work-stealing granularity ``k``; ignored when ``config`` is
+        given explicitly.
+    seed:
+        Seed for the simulation's random streams (probe orders).  The
+        tree's own seed lives in ``tree.seed``.
+    verify:
+        If True, recount the tree sequentially (cached) and raise
+        :class:`~repro.errors.ProtocolError` on any mismatch.
+
+    Returns
+    -------
+    RunResult
+        Counts, simulated time, and the derived figure metrics.
+    """
+    if threads < 1:
+        raise ConfigError(f"threads must be >= 1, got {threads}")
+    if isinstance(tree, TreeParams):
+        tree_obj = Tree(tree)
+        tree_desc = tree.describe()
+    else:
+        if verify:
+            raise ConfigError(
+                "verify=True needs a TreeParams tree (the sequential "
+                "oracle); pass verify=False for custom search spaces "
+                "and check result.total_nodes yourself"
+            )
+        tree_obj = tree
+        describe = getattr(tree, "describe", None)
+        tree_desc = describe() if callable(describe) else repr(tree)
+    network = net if net is not None else get_preset(preset)
+    cfg = config if config is not None else WsConfig(chunk_size=chunk_size)
+    machine = Machine(threads=threads, net=network, seed=seed, tracer=tracer,
+                      max_events=max_events)
+    algo_cls = get_algorithm(algorithm)
+    algo = algo_cls(machine, tree_obj, cfg)
+
+    host_t0 = time.perf_counter()
+    machine.spawn_all(algo.thread_main)
+    sim_time = machine.run()
+    host_seconds = time.perf_counter() - host_t0
+    algo.finalize()
+
+    result = RunResult(
+        algorithm=algo.name,
+        n_threads=threads,
+        chunk_size=cfg.chunk_size,
+        machine_name=network.name,
+        tree_description=tree_desc,
+        total_nodes=algo.total_nodes,
+        sim_time=sim_time,
+        node_visit_time=algo.t_node,  # includes compute granularity
+        per_thread=algo.stats,
+        host_seconds=host_seconds,
+        engine_events=machine.sim.events_processed,
+    )
+    if verify:
+        result.verify(expected_node_count(tree))
+    return result

@@ -1,0 +1,67 @@
+"""Parameter sweeps over (algorithm, chunk size, thread count).
+
+A sweep executes the cross product of a :class:`FigureSetup` and
+collects :class:`~repro.metrics.report.RunResult` objects, verifying
+node conservation on every run against the (cached) sequential count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.harness.config import FigureSetup
+from repro.harness.runner import expected_node_count, run_experiment
+from repro.metrics.report import RunResult
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """All runs for one figure setup."""
+
+    setup: FigureSetup
+    expected_nodes: int
+    runs: List[RunResult] = field(default_factory=list)
+
+    def series(self, algorithm: str) -> List[RunResult]:
+        """Runs for one algorithm, in execution order."""
+        return [r for r in self.runs if r.algorithm == algorithm]
+
+    def get(self, algorithm: str, *, chunk_size: Optional[int] = None,
+            threads: Optional[int] = None) -> RunResult:
+        for r in self.runs:
+            if r.algorithm != algorithm:
+                continue
+            if chunk_size is not None and r.chunk_size != chunk_size:
+                continue
+            if threads is not None and r.n_threads != threads:
+                continue
+            return r
+        raise KeyError(f"no run for {algorithm} k={chunk_size} T={threads}")
+
+    def best(self, algorithm: str) -> RunResult:
+        """The run with the highest throughput for one algorithm."""
+        series = self.series(algorithm)
+        if not series:
+            raise KeyError(f"no runs for {algorithm}")
+        return max(series, key=lambda r: r.nodes_per_sec)
+
+
+def run_sweep(setup: FigureSetup, *, verify: bool = True,
+              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+    """Execute every (algorithm, k, T) combination of ``setup``."""
+    expected = expected_node_count(setup.tree)
+    out = SweepResult(setup=setup, expected_nodes=expected)
+    for alg in setup.algorithms:
+        for threads in setup.thread_counts:
+            for k in setup.chunk_sizes:
+                res = run_experiment(alg, tree=setup.tree, threads=threads,
+                                     preset=setup.preset, chunk_size=k)
+                if verify:
+                    res.verify(expected)
+                out.runs.append(res)
+                if progress is not None:
+                    progress(res.summary())
+    return out

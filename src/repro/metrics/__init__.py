@@ -1,0 +1,28 @@
+"""Instrumentation: per-thread state machines, counters, run results."""
+
+from repro.metrics.counters import AggregateStats, ThreadStats, aggregate
+from repro.metrics.report import RunResult
+from repro.metrics.timeline import STATE_CHARS, render_timeline
+from repro.metrics.states import (
+    BARRIER,
+    SEARCHING,
+    STATES,
+    STEALING,
+    WORKING,
+    StateTimer,
+)
+
+__all__ = [
+    "ThreadStats",
+    "AggregateStats",
+    "aggregate",
+    "RunResult",
+    "render_timeline",
+    "STATE_CHARS",
+    "StateTimer",
+    "STATES",
+    "WORKING",
+    "SEARCHING",
+    "STEALING",
+    "BARRIER",
+]

@@ -1,0 +1,109 @@
+"""Per-thread protocol counters.
+
+One :class:`ThreadStats` per UPC thread records everything the paper's
+evaluation quantifies: node throughput, steal traffic (the ">85,000
+load balancing operations per second" claim), release/reacquire churn,
+probe counts, barrier behaviour, and message counts for the MPI
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.states import SEARCHING, StateTimer
+
+__all__ = ["ThreadStats", "aggregate"]
+
+
+@dataclass
+class ThreadStats:
+    """Counters + state timer for one thread."""
+
+    rank: int
+    timer: StateTimer = field(default_factory=lambda: StateTimer(SEARCHING))
+
+    #: Tree nodes visited (popped and expanded) by this thread.
+    nodes_visited: int = 0
+    #: Chunks moved local -> shared region.
+    releases: int = 0
+    #: Chunks moved shared -> local region.
+    reacquires: int = 0
+    #: Remote ``work_avail`` probes performed while searching.
+    probes: int = 0
+    #: Steal attempts that reached the victim (locked / requested).
+    steal_attempts: int = 0
+    #: Steal attempts that obtained at least one chunk.
+    steals_ok: int = 0
+    #: Chunks obtained by stealing.
+    chunks_stolen: int = 0
+    #: Nodes obtained by stealing.
+    nodes_stolen: int = 0
+    #: Steal requests this thread serviced as a victim (granted).
+    requests_granted: int = 0
+    #: Steal requests this thread denied (no surplus).
+    requests_denied: int = 0
+    #: Times this thread entered the termination barrier.
+    barrier_entries: int = 0
+    #: Times this thread left the barrier due to cancellation / steal.
+    barrier_exits: int = 0
+    #: Messages sent (MPI baseline only).
+    msgs_sent: int = 0
+    #: Dijkstra tokens forwarded (MPI baseline only).
+    tokens_forwarded: int = 0
+
+    @property
+    def steal_success_rate(self) -> float:
+        return self.steals_ok / self.steal_attempts if self.steal_attempts else 0.0
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Whole-run totals across threads."""
+
+    nodes_visited: int
+    releases: int
+    reacquires: int
+    probes: int
+    steal_attempts: int
+    steals_ok: int
+    chunks_stolen: int
+    nodes_stolen: int
+    requests_granted: int
+    requests_denied: int
+    barrier_entries: int
+    barrier_exits: int
+    msgs_sent: int
+    tokens_forwarded: int
+    #: Simulated seconds summed per state over all threads.
+    state_times: dict
+
+    @property
+    def working_fraction(self) -> float:
+        total = sum(self.state_times.values())
+        return self.state_times["working"] / total if total else 0.0
+
+
+def aggregate(stats: list[ThreadStats]) -> AggregateStats:
+    """Fold per-thread stats into run totals."""
+    state_times = {k: 0.0 for k in stats[0].timer.times} if stats else {}
+    for s in stats:
+        for k, v in s.timer.times.items():
+            state_times[k] += v
+    return AggregateStats(
+        nodes_visited=sum(s.nodes_visited for s in stats),
+        releases=sum(s.releases for s in stats),
+        reacquires=sum(s.reacquires for s in stats),
+        probes=sum(s.probes for s in stats),
+        steal_attempts=sum(s.steal_attempts for s in stats),
+        steals_ok=sum(s.steals_ok for s in stats),
+        chunks_stolen=sum(s.chunks_stolen for s in stats),
+        nodes_stolen=sum(s.nodes_stolen for s in stats),
+        requests_granted=sum(s.requests_granted for s in stats),
+        requests_denied=sum(s.requests_denied for s in stats),
+        barrier_entries=sum(s.barrier_entries for s in stats),
+        barrier_exits=sum(s.barrier_exits for s in stats),
+        msgs_sent=sum(s.msgs_sent for s in stats),
+        tokens_forwarded=sum(s.tokens_forwarded for s in stats),
+        state_times=state_times,
+    )

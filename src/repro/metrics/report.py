@@ -1,0 +1,94 @@
+"""Run results: the numbers the paper's figures are made of.
+
+:class:`RunResult` bundles one parallel search's outcome with the
+derived quantities the evaluation reports -- nodes/second, speedup
+relative to the platform's sequential rate, parallel efficiency, and
+steal-rate -- plus a :meth:`verify` check against the sequential count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.metrics.counters import AggregateStats, aggregate
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one parallel UTS run on the simulated machine."""
+
+    algorithm: str
+    n_threads: int
+    chunk_size: int
+    machine_name: str
+    tree_description: str
+    #: Total nodes counted by the parallel search.
+    total_nodes: int
+    #: Simulated wall time of the run (seconds).
+    sim_time: float
+    #: Simulated per-node visit time on this platform (seconds).
+    node_visit_time: float
+    per_thread: list = field(default_factory=list, repr=False)
+    #: Host (real) seconds the simulation itself took -- diagnostics only.
+    host_seconds: float = 0.0
+    #: Discrete events the engine processed -- diagnostics only.
+    engine_events: int = 0
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def stats(self) -> AggregateStats:
+        return aggregate(self.per_thread)
+
+    @property
+    def t1(self) -> float:
+        """Sequential simulated time for the same tree on this platform."""
+        return self.total_nodes * self.node_visit_time
+
+    @property
+    def nodes_per_sec(self) -> float:
+        """Absolute performance: nodes per simulated second."""
+        return self.total_nodes / self.sim_time if self.sim_time > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return self.t1 / self.sim_time if self.sim_time > 0 else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.n_threads if self.n_threads else 0.0
+
+    @property
+    def steals_per_sec(self) -> float:
+        """Successful load-balancing operations per simulated second."""
+        return self.stats.steals_ok / self.sim_time if self.sim_time > 0 else 0.0
+
+    @property
+    def working_fraction(self) -> float:
+        """Fraction of total thread-time spent in the working state."""
+        return self.stats.working_fraction
+
+    # -- validation -----------------------------------------------------------
+
+    def verify(self, expected_nodes: int) -> None:
+        """Raise unless the parallel count matches the sequential count."""
+        if self.total_nodes != expected_nodes:
+            raise ProtocolError(
+                f"{self.algorithm} on {self.n_threads} threads counted "
+                f"{self.total_nodes} nodes, expected {expected_nodes} "
+                f"(lost/duplicated work)"
+            )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm:>16s} T={self.n_threads:<5d} k={self.chunk_size:<4d} "
+            f"nodes={self.total_nodes:>12,d} "
+            f"time={self.sim_time * 1e3:9.2f}ms "
+            f"speedup={self.speedup:8.1f} eff={self.efficiency * 100:5.1f}% "
+            f"steals={self.stats.steals_ok:>7d} "
+            f"({self.steals_per_sec:,.0f}/s)"
+        )

@@ -1,0 +1,76 @@
+"""Per-thread state accounting (Figure 1 of the paper).
+
+Each thread's execution is modelled as the paper's four-state machine:
+
+* ``WORKING``   -- depth-first exploration of the local stack (includes
+  release/reacquire and steal-request servicing, whose cost shows up as
+  the gap between working-state time and pure node-visit time).
+* ``SEARCHING`` -- probing other threads for available work.
+* ``STEALING``  -- executing a steal (reserve + transfer).
+* ``BARRIER``   -- in the termination-detection phase.
+
+The timer accumulates simulated seconds per state; Sect. 6.2's "93%
+efficiency of threads in the working state" is computed from these.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+__all__ = ["WORKING", "SEARCHING", "STEALING", "BARRIER", "STATES", "StateTimer"]
+
+WORKING = "working"
+SEARCHING = "searching"
+STEALING = "stealing"
+BARRIER = "barrier"
+
+STATES = (WORKING, SEARCHING, STEALING, BARRIER)
+
+
+class StateTimer:
+    """Accumulates simulated time per state for one thread."""
+
+    __slots__ = ("times", "transitions", "_state", "_since", "_finished")
+
+    def __init__(self, start_state: str = SEARCHING, now: float = 0.0) -> None:
+        if start_state not in STATES:
+            raise ProtocolError(f"unknown state {start_state!r}")
+        self.times = dict.fromkeys(STATES, 0.0)
+        self.transitions = 0
+        self._state = start_state
+        self._since = now
+        self._finished = False
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def enter(self, state: str, now: float) -> None:
+        """Transition to ``state`` at simulated time ``now``."""
+        if state not in STATES:
+            raise ProtocolError(f"unknown state {state!r}")
+        if self._finished:
+            raise ProtocolError("state timer already finished")
+        if now < self._since:
+            raise ProtocolError(
+                f"time went backwards: {now} < {self._since}"
+            )
+        self.times[self._state] += now - self._since
+        self._since = now
+        if state != self._state:
+            self.transitions += 1
+        self._state = state
+
+    def finish(self, now: float) -> None:
+        """Close the accounting at the end of the run."""
+        if not self._finished:
+            self.times[self._state] += now - self._since
+            self._since = now
+            self._finished = True
+
+    def total(self) -> float:
+        return sum(self.times.values())
+
+    def fraction(self, state: str) -> float:
+        t = self.total()
+        return self.times[state] / t if t > 0 else 0.0

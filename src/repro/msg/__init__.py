@@ -1,0 +1,5 @@
+"""Simulated two-sided message passing (substrate for the MPI baseline)."""
+
+from repro.msg.comm import Message, MsgEndpoint, MsgWorld
+
+__all__ = ["Message", "MsgEndpoint", "MsgWorld"]

@@ -1,0 +1,5 @@
+"""Real-thread validation backend for the distmem protocol."""
+
+from repro.native.distmem_threads import NativeResult, native_distmem_search
+
+__all__ = ["native_distmem_search", "NativeResult"]

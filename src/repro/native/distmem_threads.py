@@ -1,0 +1,244 @@
+"""The distmem protocol on real Python threads.
+
+The simulator proves the protocol's *performance* story; this module
+validates its *logic* under genuine preemption: ``threading.Thread``
+workers run the same owner-only split-stack + request/response +
+streamlined-termination design, and the test suite checks node
+conservation against the sequential count.
+
+This is a correctness harness, not a performance vehicle (the GIL
+serializes the actual hashing) -- see DESIGN.md's substitution notes.
+
+Protocol mapping from the UPC version:
+
+* ``work_avail[rank]``   -- a plain list slot; torn reads are benign
+  (it is only a hint; the request/response handshake is authoritative).
+* request variable       -- per-victim slot + lock (``upc_lock`` analog).
+* response variable      -- a per-thief ``queue.SimpleQueue`` of grants.
+* streamlined barrier    -- counted barrier under a lock, with the same
+  leave-before-steal rule as the simulated version.
+"""
+
+from __future__ import annotations
+
+import threading
+import queue
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.uts.tree import Tree
+from repro.ws.policies import steal_half
+
+__all__ = ["NativeResult", "native_distmem_search"]
+
+NO_WORK = -1
+
+
+@dataclass
+class NativeResult:
+    """Outcome of a native-threads parallel search."""
+
+    total_nodes: int
+    per_thread_nodes: List[int]
+    steals_ok: int
+    requests_denied: int
+
+    def verify(self, expected: int) -> None:
+        if self.total_nodes != expected:
+            raise ProtocolError(
+                f"native run counted {self.total_nodes}, expected {expected}"
+            )
+
+
+class _Shared:
+    """State shared by all native worker threads."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.work_avail = [NO_WORK] * n
+        self.request: List[Optional[int]] = [None] * n
+        self.req_locks = [threading.Lock() for _ in range(n)]
+        self.responses: List[queue.SimpleQueue] = [queue.SimpleQueue()
+                                                   for _ in range(n)]
+        self.barrier_lock = threading.Lock()
+        self.barrier_count = 0
+        self.terminated = threading.Event()
+
+
+class _Worker(threading.Thread):
+    def __init__(self, rank: int, tree: Tree, shared: _Shared,
+                 chunk_size: int, seed: int) -> None:
+        super().__init__(name=f"uts-native-{rank}", daemon=True)
+        self.rank = rank
+        self.tree = tree
+        self.shared = shared
+        self.k = chunk_size
+        self.threshold = 2 * chunk_size
+        self.rng = random.Random((seed << 16) ^ rank)
+        self.local: list = []
+        self.shared_chunks: list = []  # owner-only; grants hand out copies
+        self.nodes_visited = 0
+        self.steals_ok = 0
+        self.requests_denied = 0
+
+    # -- victim side -------------------------------------------------------
+
+    def _service_request(self) -> None:
+        """Poll our request slot; grant or deny (owner-only stack)."""
+        thief = self.shared.request[self.rank]
+        if thief is None:
+            return
+        if self.shared_chunks:
+            take = steal_half(len(self.shared_chunks))
+            grant = self.shared_chunks[:take]
+            del self.shared_chunks[:take]
+            self.shared.work_avail[self.rank] = len(self.shared_chunks)
+        else:
+            grant = []
+            self.requests_denied += 1
+        # Reset the slot BEFORE responding so a thief's next request
+        # (after it processes this grant) cannot be lost.
+        self.shared.request[self.rank] = None
+        self.shared.responses[thief].put(grant)
+
+    # -- thief side ---------------------------------------------------------
+
+    def _try_steal(self, victim: int) -> bool:
+        lock = self.shared.req_locks[victim]
+        if not lock.acquire(blocking=False):
+            return False
+        try:
+            if self.shared.request[victim] is not None:
+                return False
+            self.shared.request[victim] = self.rank
+        finally:
+            lock.release()
+        # Await the response; the victim always answers every pending
+        # request before it can terminate, so a timeout is a protocol bug.
+        try:
+            grant = self.shared.responses[self.rank].get(timeout=30.0)
+        except queue.Empty:  # pragma: no cover - protocol failure
+            raise ProtocolError(f"T{self.rank} starved waiting for T{victim}")
+        if not grant:
+            return False
+        for chunk in grant:
+            self.local.extend(chunk)
+        self.steals_ok += 1
+        self.shared.work_avail[self.rank] = 0
+        return True
+
+    # -- phases ---------------------------------------------------------------
+
+    def _work(self) -> None:
+        sh = self.shared
+        children = self.tree.children
+        while True:
+            self._service_request()
+            if not self.local:
+                if self.shared_chunks:
+                    self.local[0:0] = self.shared_chunks.pop()
+                    sh.work_avail[self.rank] = len(self.shared_chunks)
+                    continue
+                break
+            # A small batch between polls, mirroring the poll interval.
+            for _ in range(32):
+                if not self.local:
+                    break
+                kids = children(self.local.pop())
+                if kids:
+                    self.local.extend(kids)
+                self.nodes_visited += 1
+                if len(self.local) >= self.threshold:
+                    break
+            while len(self.local) >= self.threshold:
+                self.shared_chunks.append(self.local[:self.k])
+                del self.local[:self.k]
+                sh.work_avail[self.rank] = len(self.shared_chunks)
+        sh.work_avail[self.rank] = NO_WORK
+        self._service_request()
+
+    def _search(self) -> bool:
+        """Probe everyone; True when work was obtained, False when every
+        other thread reports NO_WORK."""
+        sh = self.shared
+        others = [t for t in range(sh.n) if t != self.rank]
+        while True:
+            self._service_request()
+            self.rng.shuffle(others)
+            any_working = False
+            for v in others:
+                avail = sh.work_avail[v]
+                if avail > 0:
+                    if self._try_steal(v):
+                        return True
+                    any_working = True  # it had work a moment ago
+                elif avail == 0:
+                    any_working = True
+            if not any_working:
+                return False
+
+    def _termination(self) -> bool:
+        """Counted barrier with leave-before-steal; True on termination."""
+        sh = self.shared
+        with sh.barrier_lock:
+            sh.barrier_count += 1
+            if sh.barrier_count == sh.n:
+                sh.terminated.set()
+                return True
+        others = [t for t in range(sh.n) if t != self.rank]
+        while True:
+            self._service_request()
+            if sh.terminated.is_set():
+                return True
+            victim = self.rng.choice(others)
+            if sh.work_avail[victim] > 0:
+                with sh.barrier_lock:
+                    sh.barrier_count -= 1
+                if self._try_steal(victim):
+                    return False
+                with sh.barrier_lock:
+                    sh.barrier_count += 1
+                    if sh.barrier_count == sh.n:
+                        sh.terminated.set()
+                        return True
+            else:
+                sh.terminated.wait(timeout=0.0002)
+
+    def run(self) -> None:
+        while True:
+            if self.local or self.shared_chunks:
+                self._work()
+            if self._search():
+                continue
+            if self._termination():
+                break
+        self._service_request()
+
+
+def native_distmem_search(tree_params, threads: int = 4, chunk_size: int = 4,
+                          seed: int = 0) -> NativeResult:
+    """Run the distmem protocol with real Python threads.
+
+    Returns exact counts; call :meth:`NativeResult.verify` against the
+    sequential count to validate the protocol under true concurrency.
+    """
+    tree = Tree(tree_params)
+    shared = _Shared(threads)
+    workers = [_Worker(r, tree, shared, chunk_size, seed)
+               for r in range(threads)]
+    workers[0].local.append(tree.root())
+    shared.work_avail[0] = 0
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=120.0)
+        if w.is_alive():  # pragma: no cover - protocol failure
+            raise ProtocolError(f"native worker {w.name} failed to terminate")
+    return NativeResult(
+        total_nodes=sum(w.nodes_visited for w in workers),
+        per_thread_nodes=[w.nodes_visited for w in workers],
+        steals_ok=sum(w.steals_ok for w in workers),
+        requests_denied=sum(w.requests_denied for w in workers),
+    )

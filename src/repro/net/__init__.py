@@ -1,0 +1,15 @@
+"""Network/communication cost models for the simulated PGAS machine."""
+
+from repro.net.model import NODE_DESC_BYTES, NetworkModel
+from repro.net.presets import ALTIX, KITTYHAWK, PRESETS, SHAREDMEM, TOPSAIL, get_preset
+
+__all__ = [
+    "NetworkModel",
+    "NODE_DESC_BYTES",
+    "KITTYHAWK",
+    "TOPSAIL",
+    "ALTIX",
+    "SHAREDMEM",
+    "PRESETS",
+    "get_preset",
+]

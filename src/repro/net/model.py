@@ -1,0 +1,153 @@
+"""Communication cost model for the simulated PGAS machine.
+
+The paper's analysis hinges on the *relative* costs of four operation
+classes, which this model makes explicit:
+
+* local references (free at simulation granularity),
+* node-local shared references (same SMP node, address translation only),
+* remote one-sided get/put (network latency + payload/bandwidth),
+* remote lock traffic (a round trip, "typically an order of magnitude
+  greater than the cost of a shared variable reference", Sect. 3.3.3).
+
+Topology is a flat cluster of SMP nodes: ``cores_per_node`` consecutive
+UPC thread ranks share a node (the layout used by the paper's runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["NetworkModel", "NODE_DESC_BYTES"]
+
+# Serialized size of one UTS tree-node descriptor travelling in a steal:
+# 20-byte SHA-1 state + height + child-count metadata, padded as in the
+# reference UTS struct.
+NODE_DESC_BYTES = 56
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Costs (seconds) for the simulated machine's communication fabric.
+
+    The defaults are placeholders; use the presets in
+    :mod:`repro.net.presets` for the paper's three platforms.
+    """
+
+    name: str = "generic"
+    #: UPC thread ranks per SMP node (1 => every rank is its own node).
+    cores_per_node: int = 1
+    #: Sequential tree-node visit time (1 / sequential rate of Sect. 4.1).
+    node_visit_time: float = 1.0 / 2.0e6
+    #: Cost of a shared-variable reference to a rank on the *same* node.
+    local_shared_ref: float = 0.05e-6
+    #: Cost of a shared-variable reference to a rank on a *different* node.
+    remote_shared_ref: float = 4.0e-6
+    #: One-sided bulk transfer: per-message startup latency (off-node).
+    rdma_latency: float = 6.0e-6
+    #: One-sided bulk transfer bandwidth, bytes/second (off-node).
+    rdma_bandwidth: float = 900.0e6
+    #: Two-sided (MPI-style) message startup latency (off-node).
+    msg_latency: float = 6.0e-6
+    #: Two-sided message bandwidth, bytes/second (off-node).
+    msg_bandwidth: float = 900.0e6
+    #: CPU overhead the *sender* pays to inject a two-sided message
+    #: (the MPI library's per-send cost; the rest of the latency is
+    #: overlapped network time).
+    msg_injection: float = 0.5e-6
+    #: Extra round-trip cost of acquiring an *uncontended* remote lock on
+    #: top of the shared references it performs.
+    lock_overhead: float = 8.0e-6
+    #: Serialization at a shared variable's home when many ranks hit it
+    #: at once (per woken waiter); models the contention the paper blames
+    #: for the shared-memory algorithm's collapse.
+    home_occupancy: float = 0.3e-6
+    #: On-node bandwidth for transfers between ranks sharing a node.
+    onnode_bandwidth: float = 3.0e9
+    #: On-node transfer startup latency.
+    onnode_latency: float = 0.3e-6
+    #: Sect. 6.1 performance-portability mode: when True the runtime
+    #: has no hardware one-sided support -- remote operations are
+    #: implemented with active messages that the *target* must service
+    #: from its communication progress engine (``bupc_poll()``), adding
+    #: ``am_service_overhead`` to every off-node remote operation.
+    am_mode: bool = False
+    #: Mean wait for the target's progress engine in AM mode.
+    am_service_overhead: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1:
+            raise ConfigError(f"cores_per_node must be >= 1, got {self.cores_per_node}")
+        for fld in ("node_visit_time", "rdma_bandwidth", "msg_bandwidth",
+                    "onnode_bandwidth"):
+            if getattr(self, fld) <= 0:
+                raise ConfigError(f"{fld} must be positive")
+        for fld in ("local_shared_ref", "remote_shared_ref", "rdma_latency",
+                    "msg_latency", "msg_injection", "lock_overhead",
+                    "home_occupancy", "onnode_latency",
+                    "am_service_overhead"):
+            if getattr(self, fld) < 0:
+                raise ConfigError(f"{fld} must be non-negative")
+
+    # -- topology ---------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        """SMP node index hosting UPC thread ``rank``."""
+        return rank // self.cores_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    # -- operation costs --------------------------------------------------
+
+    def _am_penalty(self) -> float:
+        return self.am_service_overhead if self.am_mode else 0.0
+
+    def shared_ref(self, src: int, dst: int) -> float:
+        """One shared-variable read or write by ``src`` homed at ``dst``."""
+        if src == dst:
+            return 0.0
+        if self.same_node(src, dst):
+            return self.local_shared_ref
+        return self.remote_shared_ref + self._am_penalty()
+
+    def one_sided(self, src: int, dst: int, nbytes: int) -> float:
+        """A ``upc_memget``/``upc_memput`` of ``nbytes`` between ranks."""
+        if src == dst:
+            return 0.0
+        if self.same_node(src, dst):
+            return self.onnode_latency + nbytes / self.onnode_bandwidth
+        return self.rdma_latency + nbytes / self.rdma_bandwidth + \
+            self._am_penalty()
+
+    def message(self, src: int, dst: int, nbytes: int) -> float:
+        """A two-sided message of ``nbytes`` (delivery time once matched)."""
+        if src == dst:
+            return 0.0
+        if self.same_node(src, dst):
+            return self.onnode_latency + nbytes / self.onnode_bandwidth
+        return self.msg_latency + nbytes / self.msg_bandwidth
+
+    def lock_cost(self, src: int, home: int) -> float:
+        """Uncontended acquire cost of a lock homed at rank ``home``."""
+        if src == home:
+            return self.local_shared_ref  # still an atomic, never free
+        base = self.shared_ref(src, home)
+        if self.same_node(src, home):
+            return base + self.lock_overhead * 0.1
+        return base + self.lock_overhead
+
+    def chunk_transfer(self, src: int, dst: int, nnodes: int) -> float:
+        """One-sided transfer of ``nnodes`` tree-node descriptors."""
+        return self.one_sided(src, dst, nnodes * NODE_DESC_BYTES)
+
+    # -- derived ----------------------------------------------------------
+
+    def with_overrides(self, **kw) -> "NetworkModel":
+        """A copy with selected cost fields replaced (for ablations)."""
+        return replace(self, **kw)
+
+    def sequential_rate(self) -> float:
+        """Nodes/second a single thread explores with no load balancing."""
+        return 1.0 / self.node_visit_time

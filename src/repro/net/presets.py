@@ -1,0 +1,109 @@
+"""Cost-model presets for the paper's three evaluation platforms.
+
+Numbers are engineering estimates for 2007-era hardware consistent with
+the paper's text and public microbenchmarks of the day:
+
+* Infiniband verbs RDMA: ~5-7 us small-message latency, ~0.9 GB/s
+  effective bandwidth (DDR IB through Berkeley UPC / GASNet-vapi).
+* MVAPICH small-message latency in the same few-microsecond range.
+* SGI Altix 3700 NUMAlink: sub-microsecond remote references.
+* Remote lock acquisition "typically an order of magnitude greater than
+  the cost of a shared variable reference" (Sect. 3.3.3).
+
+Sequential rates come directly from Sect. 4.1: Topsail 2.10 M nodes/s,
+Kitty Hawk 2.39 M nodes/s, Altix 1.12 M nodes/s.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.net.model import NetworkModel
+
+__all__ = ["KITTYHAWK", "TOPSAIL", "ALTIX", "SHAREDMEM", "PRESETS", "get_preset"]
+
+#: Kitty Hawk: Dell blades, 2x dual-core Xeon E5150 (4 ranks/node), IB/VAPI.
+KITTYHAWK = NetworkModel(
+    name="kittyhawk",
+    cores_per_node=4,
+    node_visit_time=1.0 / 2.39e6,
+    local_shared_ref=0.08e-6,
+    remote_shared_ref=4.5e-6,
+    rdma_latency=6.0e-6,
+    rdma_bandwidth=0.9e9,
+    msg_latency=5.0e-6,
+    msg_bandwidth=1.0e9,
+    lock_overhead=9.0e-6,
+    home_occupancy=0.35e-6,
+    onnode_latency=0.25e-6,
+    onnode_bandwidth=3.0e9,
+)
+
+#: Topsail: Dell blades, 2x quad-core Xeon E5345 (8 ranks/node), IB/OFED.
+TOPSAIL = NetworkModel(
+    name="topsail",
+    cores_per_node=8,
+    node_visit_time=1.0 / 2.10e6,
+    local_shared_ref=0.08e-6,
+    remote_shared_ref=4.0e-6,
+    rdma_latency=5.5e-6,
+    rdma_bandwidth=1.1e9,
+    msg_latency=4.5e-6,
+    msg_bandwidth=1.2e9,
+    lock_overhead=8.0e-6,
+    home_occupancy=0.3e-6,
+    onnode_latency=0.25e-6,
+    onnode_bandwidth=3.5e9,
+)
+
+#: SGI Altix 3700: Itanium2, NUMAlink hypercube; every rank its own
+#: "node" but with very low remote costs (hardware shared memory).
+ALTIX = NetworkModel(
+    name="altix",
+    cores_per_node=1,
+    node_visit_time=1.0 / 1.12e6,
+    local_shared_ref=0.05e-6,
+    remote_shared_ref=0.5e-6,
+    rdma_latency=0.6e-6,
+    rdma_bandwidth=3.0e9,
+    msg_latency=1.2e-6,  # MPI overhead + cache behaviour penalty (Sect. 4.3)
+    msg_bandwidth=2.0e9,
+    lock_overhead=1.5e-6,
+    home_occupancy=0.12e-6,
+    onnode_latency=0.5e-6,
+    onnode_bandwidth=3.0e9,
+)
+
+#: An idealized single-SMP machine: useful in tests and as a "what would a
+#: zero-latency fabric do" ablation baseline.
+SHAREDMEM = NetworkModel(
+    name="sharedmem",
+    cores_per_node=10**9,  # all ranks share one node
+    node_visit_time=1.0 / 2.0e6,
+    local_shared_ref=0.05e-6,
+    remote_shared_ref=0.05e-6,
+    rdma_latency=0.1e-6,
+    rdma_bandwidth=5.0e9,
+    msg_latency=0.4e-6,
+    msg_bandwidth=4.0e9,
+    lock_overhead=0.5e-6,
+    home_occupancy=0.05e-6,
+    onnode_latency=0.1e-6,
+    onnode_bandwidth=5.0e9,
+)
+
+PRESETS: dict[str, NetworkModel] = {
+    "kittyhawk": KITTYHAWK,
+    "topsail": TOPSAIL,
+    "altix": ALTIX,
+    "sharedmem": SHAREDMEM,
+}
+
+
+def get_preset(name: str) -> NetworkModel:
+    """Look up a platform preset by name (case-insensitive)."""
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

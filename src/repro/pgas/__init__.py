@@ -1,0 +1,26 @@
+"""Simulated UPC-style PGAS runtime layer.
+
+* :class:`~repro.pgas.machine.Machine` -- the simulated cluster.
+* :class:`~repro.pgas.machine.UpcContext` -- per-rank operations
+  (``shared_read``/``shared_write``/``memget``/``lock``/...), each a
+  generator that charges simulated communication time.
+* :class:`~repro.pgas.shared.SharedVar` / :class:`~repro.pgas.shared.SharedArray`
+  -- global-address-space state with per-rank affinity.
+* :class:`~repro.pgas.locks.GlobalLock` -- ``upc_lock_t`` analogue.
+"""
+
+from repro.pgas.collectives import broadcast_time, reduction_time, tree_depth
+from repro.pgas.locks import GlobalLock
+from repro.pgas.machine import Machine, UpcContext
+from repro.pgas.shared import SharedArray, SharedVar
+
+__all__ = [
+    "Machine",
+    "UpcContext",
+    "SharedVar",
+    "SharedArray",
+    "GlobalLock",
+    "reduction_time",
+    "broadcast_time",
+    "tree_depth",
+]

@@ -1,0 +1,35 @@
+"""Collective-operation cost helpers.
+
+The algorithms only need two collectives: the final count reduction and
+the tree-based termination announcement (Sect. 3.3.1).  Both are
+log-depth fan-in/fan-out patterns whose *cost* we charge analytically;
+the *data* movement is plain Python (the reduction result is computed
+exactly).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.net.model import NetworkModel
+
+__all__ = ["reduction_time", "broadcast_time", "tree_depth"]
+
+
+def tree_depth(n_threads: int) -> int:
+    """Depth of a binary fan-in/out tree over ``n_threads`` ranks."""
+    return max(1, math.ceil(math.log2(max(n_threads, 2))))
+
+
+def reduction_time(net: NetworkModel, n_threads: int) -> float:
+    """Time for a binary-tree sum reduction across all ranks."""
+    if n_threads <= 1:
+        return 0.0
+    return tree_depth(n_threads) * net.remote_shared_ref
+
+
+def broadcast_time(net: NetworkModel, n_threads: int) -> float:
+    """Time for a binary-tree flag broadcast (termination announcement)."""
+    if n_threads <= 1:
+        return 0.0
+    return tree_depth(n_threads) * net.remote_shared_ref

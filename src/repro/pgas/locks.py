@@ -1,0 +1,42 @@
+"""UPC global locks.
+
+A :class:`GlobalLock` couples a fair :class:`~repro.sim.resources.FifoLock`
+with a home rank.  Acquiring from a remote rank pays the network round
+trip *plus* any queueing delay behind other holders -- the combination
+the paper identifies as the shared-memory algorithm's downfall on
+distributed memory ("multiple remote threads attempting to steal work
+... can keep the stack locked for a comparatively long time", Sect. 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import FifoLock
+
+__all__ = ["GlobalLock"]
+
+
+class GlobalLock:
+    """A ``upc_lock_t`` analogue: FIFO lock with affinity to a home rank."""
+
+    __slots__ = ("name", "home", "fifo")
+
+    def __init__(self, sim: Simulator, name: str, home: int) -> None:
+        self.name = name
+        self.home = home
+        self.fifo = FifoLock(sim, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GlobalLock {self.name}@T{self.home}>"
+
+    @property
+    def acquisitions(self) -> int:
+        return self.fifo.acquisitions
+
+    @property
+    def contended_acquisitions(self) -> int:
+        return self.fifo.contended_acquisitions
+
+    @property
+    def busy_time(self) -> float:
+        return self.fifo.busy_time

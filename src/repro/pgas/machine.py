@@ -1,0 +1,184 @@
+"""The simulated PGAS machine and per-thread execution context.
+
+:class:`Machine` owns the simulator, the network cost model, and the
+global-address-space objects.  :class:`UpcContext` is what algorithm
+code programs against: it exposes UPC-flavoured operations
+(``shared_read``, ``shared_write``, ``memget``, ``lock``/``unlock``,
+``compute``) as generators that charge simulated time, so algorithm
+bodies compose them with ``yield from``.
+
+SPMD idiom::
+
+    machine = Machine(threads=16, net=KITTYHAWK, seed=0)
+    machine.spawn_all(lambda ctx: my_thread_main(ctx))
+    machine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ConfigError
+from repro.net.model import NetworkModel
+from repro.pgas.locks import GlobalLock
+from repro.pgas.shared import SharedArray, SharedVar
+from repro.sim.engine import Process, SimEvent, Simulator, Timeout
+from repro.sim.rng import StreamRng
+from repro.sim.trace import NULL_TRACER, Tracer
+
+__all__ = ["Machine", "UpcContext"]
+
+Gen = Generator[Any, Any, Any]
+
+
+class Machine:
+    """A simulated cluster running ``threads`` UPC threads."""
+
+    def __init__(self, threads: int, net: NetworkModel, seed: int = 0,
+                 tracer: Optional[Tracer] = None,
+                 max_events: int = 50_000_000) -> None:
+        if threads < 1:
+            raise ConfigError(f"threads must be >= 1, got {threads}")
+        self.n_threads = threads
+        self.net = net
+        self.seed = seed
+        self.sim = Simulator(max_events=max_events)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.contexts = [UpcContext(self, rank) for rank in range(threads)]
+        self._procs: list[Process] = []
+
+    # -- global address space constructors --------------------------------
+
+    def shared_var(self, name: str, home: int = 0, init: Any = None) -> SharedVar:
+        return SharedVar(name, home, init)
+
+    def shared_array(self, name: str, init: Any = None,
+                     length: Optional[int] = None) -> SharedArray:
+        return SharedArray(name, length or self.n_threads, init=init)
+
+    def global_lock(self, name: str, home: int = 0) -> GlobalLock:
+        return GlobalLock(self.sim, name, home)
+
+    def lock_array(self, name: str) -> list[GlobalLock]:
+        """One lock per rank, homed at that rank (``upc_all_lock_alloc``)."""
+        return [GlobalLock(self.sim, f"{name}[{i}]", i)
+                for i in range(self.n_threads)]
+
+    # -- execution ---------------------------------------------------------
+
+    def spawn_all(self, thread_main: Callable[["UpcContext"], Gen]) -> None:
+        """Start one process per rank running ``thread_main(ctx)``."""
+        for ctx in self.contexts:
+            self._procs.append(
+                self.sim.spawn(thread_main(ctx), name=f"T{ctx.rank}")
+            )
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation; returns the final simulated time."""
+        t = self.sim.run(until=until)
+        self.sim.check_quiescent()
+        return t
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class UpcContext:
+    """Per-rank view of the machine (MYTHREAD, costs, RNG, trace)."""
+
+    __slots__ = ("machine", "rank", "sim", "net", "rng")
+
+    def __init__(self, machine: Machine, rank: int) -> None:
+        self.machine = machine
+        self.rank = rank
+        self.sim = machine.sim
+        self.net = machine.net
+        self.rng = StreamRng(machine.seed, "thread", rank)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def threads(self) -> int:
+        return self.machine.n_threads
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def trace(self, kind: str, detail: str = "") -> None:
+        self.machine.tracer.emit(self.sim.now, self.rank, kind, detail)
+
+    # -- cost-charging operations (generators; use with ``yield from``) ----
+
+    def compute(self, dt: float) -> Gen:
+        """Spend ``dt`` seconds of local computation."""
+        if dt > 0:
+            yield Timeout(dt)
+
+    def shared_read(self, var: SharedVar) -> Gen:
+        """Read a shared variable; value observed *after* the latency."""
+        cost = self.net.shared_ref(self.rank, var.home)
+        if cost > 0:
+            yield Timeout(cost)
+        return var.peek()
+
+    def shared_write(self, var: SharedVar, value: Any) -> Gen:
+        """Write a shared variable; value lands after the latency."""
+        cost = self.net.shared_ref(self.rank, var.home)
+        if cost > 0:
+            yield Timeout(cost)
+        var.poke(value)
+
+    def local_read(self, var: SharedVar) -> Any:
+        """Free access to a variable homed here (cast-to-local idiom)."""
+        assert var.home == self.rank, f"T{self.rank} local_read of {var!r}"
+        return var.peek()
+
+    def local_write(self, var: SharedVar, value: Any) -> None:
+        assert var.home == self.rank, f"T{self.rank} local_write of {var!r}"
+        var.poke(value)
+
+    def memget(self, src_rank: int, nbytes: int) -> Gen:
+        """One-sided bulk get of ``nbytes`` from ``src_rank``'s partition."""
+        cost = self.net.one_sided(self.rank, src_rank, nbytes)
+        if cost > 0:
+            yield Timeout(cost)
+
+    def memput(self, dst_rank: int, nbytes: int) -> Gen:
+        """One-sided bulk put of ``nbytes`` into ``dst_rank``'s partition."""
+        cost = self.net.one_sided(self.rank, dst_rank, nbytes)
+        if cost > 0:
+            yield Timeout(cost)
+
+    def chunk_get(self, src_rank: int, nnodes: int) -> Gen:
+        """One-sided transfer of ``nnodes`` tree-node descriptors."""
+        cost = self.net.chunk_transfer(self.rank, src_rank, nnodes)
+        if cost > 0:
+            yield Timeout(cost)
+
+    def lock(self, lk: GlobalLock) -> Gen:
+        """Acquire a global lock (network cost + FIFO queueing)."""
+        cost = self.net.lock_cost(self.rank, lk.home)
+        if cost > 0:
+            yield Timeout(cost)
+        yield lk.fifo.acquire()
+
+    def try_lock(self, lk: GlobalLock) -> Gen:
+        """``upc_lock_attempt``: pay the round trip, maybe get the lock."""
+        cost = self.net.lock_cost(self.rank, lk.home)
+        if cost > 0:
+            yield Timeout(cost)
+        return lk.fifo.try_acquire()
+
+    def unlock(self, lk: GlobalLock) -> Gen:
+        """Release a global lock (one shared reference to its home)."""
+        cost = self.net.shared_ref(self.rank, lk.home)
+        if cost > 0:
+            yield Timeout(cost)
+        lk.fifo.release()
+
+    def wait(self, ev: SimEvent) -> Gen:
+        """Block on a simulation event (used by gates/termination trees)."""
+        value = yield ev
+        return value

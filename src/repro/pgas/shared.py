@@ -1,0 +1,75 @@
+"""Shared (PGAS) variables with per-rank affinity.
+
+A :class:`SharedVar` lives in the partitioned global address space with
+affinity to one rank (its *home*).  Any rank may read or write it; the
+cost charged depends on where the accessor is relative to the home
+(see :meth:`repro.net.model.NetworkModel.shared_ref`).  Access from the
+home rank is free, mirroring UPC's cast-to-local-pointer idiom.
+
+These objects hold real Python values -- the simulation's shared state
+is the actual program state, so protocol bugs surface as wrong answers,
+not just wrong timings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["SharedVar", "SharedArray"]
+
+
+class SharedVar:
+    """A scalar in the global address space, homed at one rank."""
+
+    __slots__ = ("name", "home", "value", "reads", "writes")
+
+    def __init__(self, name: str, home: int, value: Any = None) -> None:
+        self.name = name
+        self.home = home
+        self.value = value
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SharedVar {self.name}@T{self.home} = {self.value!r}>"
+
+    # Raw accessors used by the home rank (free) and by the context's
+    # cost-charging generators after the latency has elapsed.
+    def peek(self) -> Any:
+        self.reads += 1
+        return self.value
+
+    def poke(self, value: Any) -> None:
+        self.writes += 1
+        self.value = value
+
+
+class SharedArray:
+    """An array of shared scalars, one element per rank by default.
+
+    The default affinity is the UPC ``shared [1] T a[THREADS]`` layout:
+    element ``i`` is homed at rank ``i`` -- exactly how UTS distributes
+    per-thread protocol state (``work_avail``, steal-request slots, ...).
+    """
+
+    __slots__ = ("name", "_vars")
+
+    def __init__(self, name: str, length: int, init: Any = None,
+                 home_fn: Optional[Callable[[int], int]] = None) -> None:
+        if home_fn is None:
+            home_fn = lambda i: i  # noqa: E731 - cyclic layout
+        self._vars = [SharedVar(f"{name}[{i}]", home_fn(i), init)
+                      for i in range(length)]
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def __getitem__(self, i: int) -> SharedVar:
+        return self._vars[i]
+
+    def __iter__(self) -> Iterator[SharedVar]:
+        return iter(self._vars)
+
+    def values(self) -> list:
+        return [v.value for v in self._vars]

@@ -1,0 +1,31 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.engine.Timeout`, :class:`~repro.sim.engine.SimEvent`
+  -- awaitables yielded by process generators.
+* :class:`~repro.sim.resources.FifoLock`, :class:`~repro.sim.resources.Gate`
+  -- synchronization resources.
+* :class:`~repro.sim.rng.StreamRng` -- named deterministic random streams.
+* :class:`~repro.sim.trace.Tracer` -- optional structured tracing.
+"""
+
+from repro.sim.engine import Process, SimEvent, Simulator, Timeout
+from repro.sim.resources import FifoLock, Gate
+from repro.sim.rng import StreamRng, substream_seed
+from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "Timeout",
+    "FifoLock",
+    "Gate",
+    "StreamRng",
+    "substream_seed",
+    "Tracer",
+    "TraceRecord",
+    "NULL_TRACER",
+]

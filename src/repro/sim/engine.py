@@ -1,0 +1,250 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is deliberately small: a time-ordered event heap, one-shot
+events, and generator-based processes.  Processes are Python generators
+that ``yield`` awaitables; the engine resumes them when the awaitable
+fires.  Determinism is guaranteed by tie-breaking simultaneous events
+with a monotonically increasing sequence number, so two runs with the
+same configuration produce identical traces.
+
+Awaitables a process may yield:
+
+* :class:`Timeout` -- resume after a simulated delay.
+* :class:`SimEvent` -- resume when another process fires the event.
+* The event returned by :meth:`repro.sim.resources.FifoLock.acquire`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(name, delay):
+...     yield Timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(proc("b", 2.0))
+>>> _ = sim.spawn(proc("a", 1.0))
+>>> sim.run()
+2.0
+>>> log
+[(1.0, 'a'), (2.0, 'b')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, EventLimitExceeded, SimulationError
+
+__all__ = ["SimEvent", "Timeout", "Process", "Simulator"]
+
+# A process body is a generator that yields awaitables and receives the
+# fired event's value back from ``yield``.
+ProcessBody = Generator[Any, Any, Any]
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event is *fired* at most once via :meth:`succeed`.  All waiters
+    are resumed at the firing time in the order they registered (plus
+    any per-waiter stagger the firer requested, see ``stagger`` -- used
+    to model serialization at a contended home node without simulating
+    individual spin iterations).
+    """
+
+    __slots__ = ("sim", "name", "fired", "scheduled", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.scheduled = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else f"{len(self._waiters)} waiters"
+        return f"<SimEvent {self.name or id(self)} {state}>"
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def add_waiter(self, proc: "Process") -> None:
+        if self.fired:
+            # Late waiter on an already-fired event resumes immediately.
+            self.sim._schedule(0.0, proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                stagger: float = 0.0) -> None:
+        """Fire the event ``delay`` from now, resuming every waiter.
+
+        The event transitions to ``fired`` only when the delay elapses,
+        so a process may ``succeed(delay=d)`` and then itself (or any
+        other process) wait on the event and be resumed at the fire
+        time, not immediately.
+
+        Parameters
+        ----------
+        value:
+            Sent into each waiting process as the result of its ``yield``.
+        delay:
+            Simulated time between now and the firing.
+        stagger:
+            Extra serial delay between consecutive waiter wake-ups,
+            modelling contention when many threads spin on one flag.
+        """
+        if self.fired or self.scheduled:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        if delay == 0.0:
+            self._fire(value, stagger)
+        else:
+            self.scheduled = True
+            self.sim._call_at(delay, lambda: self._fire(value, stagger))
+
+    def _fire(self, value: Any, stagger: float) -> None:
+        self.fired = True
+        self.scheduled = False
+        self.value = value
+        for i, proc in enumerate(self._waiters):
+            self.sim._schedule(i * stagger, proc, value)
+        self._waiters.clear()
+
+
+class Timeout:
+    """Awaitable: resume the yielding process after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+        self.value = value
+
+
+class Process:
+    """A running generator, resumable by the engine.
+
+    The ``done`` event fires with the generator's return value when the
+    body finishes, so processes can be joined:  ``yield proc.done``.
+    """
+
+    __slots__ = ("sim", "body", "name", "done", "alive")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "") -> None:
+        self.sim = sim
+        self.body = body
+        self.name = name or getattr(body, "__name__", "proc")
+        self.done = SimEvent(sim, name=f"{self.name}.done")
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} {'alive' if self.alive else 'done'}>"
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator one yield; wire up the next awaitable."""
+        try:
+            awaited = self.body.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done.succeed(stop.value)
+            return
+        if isinstance(awaited, Timeout):
+            self.sim._schedule(awaited.delay, self, awaited.value)
+        elif isinstance(awaited, SimEvent):
+            awaited.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded non-awaitable {awaited!r}"
+            )
+
+
+class Simulator:
+    """The discrete-event engine: clock, heap, and process bookkeeping."""
+
+    def __init__(self, max_events: int = 50_000_000) -> None:
+        self.now: float = 0.0
+        self.max_events = max_events
+        self.events_processed = 0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self._live_processes = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, delay: float, proc: Process, value: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value))
+
+    def _call_at(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback (used for delayed event firing)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn))
+
+    def spawn(self, body: ProcessBody, name: str = "", delay: float = 0.0) -> Process:
+        """Register a generator as a process, starting after ``delay``."""
+        proc = Process(self, body, name=name)
+        self._live_processes += 1
+        # Kick off with a scheduled first step; the sentinel None is what
+        # a fresh generator must be sent.
+        self._schedule(delay, proc, None)
+        return proc
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh one-shot event bound to this simulator."""
+        return SimEvent(self, name=name)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or sim-time ``until`` is reached).
+
+        Returns the final simulation time.  Raises
+        :class:`EventLimitExceeded` if the event budget is exhausted,
+        which in this package almost always indicates a livelocked
+        protocol rather than a legitimately long run.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, proc, value = heapq.heappop(heap)
+            if until is not None and time > until:
+                # Not consumed: push back so a later run() continues cleanly.
+                heapq.heappush(heap, (time, _seq, proc, value))
+                self.now = until
+                return self.now
+            self.now = time
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise EventLimitExceeded(
+                    f"exceeded {self.max_events} events at t={self.now:.6f}; "
+                    "likely a livelocked protocol"
+                )
+            if proc is None:
+                value()  # bare callback (delayed event fire)
+                continue
+            was_alive = proc.alive
+            proc._step(value)
+            if was_alive and not proc.alive:
+                self._live_processes -= 1
+        return self.now
+
+    def run_all(self, processes: Iterable[ProcessBody]) -> float:
+        """Convenience: spawn every body, run to completion, return time."""
+        for body in processes:
+            self.spawn(body)
+        return self.run()
+
+    def check_quiescent(self) -> None:
+        """Raise :class:`DeadlockError` if live processes remain blocked."""
+        if self._live_processes > 0 and not self._heap:
+            raise DeadlockError(
+                f"{self._live_processes} process(es) blocked forever "
+                "with an empty event heap"
+            )

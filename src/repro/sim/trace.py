@@ -1,0 +1,50 @@
+"""Optional structured tracing for simulation runs.
+
+A :class:`Tracer` collects ``(time, thread, kind, detail)`` records.  It
+is off by default (the null tracer costs one attribute test per emit) and
+is primarily used by tests asserting protocol event orderings and by the
+harness's ``--trace`` debugging mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    thread: int
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e6:12.3f}us] T{self.thread:<4d} {self.kind:<16s} {self.detail}"
+
+
+@dataclass
+class Tracer:
+    """Collects trace records; filterable by kind."""
+
+    enabled: bool = True
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def emit(self, time: float, thread: int, kind: str, detail: str = "") -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, thread, kind, detail))
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.kind == kind)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for _ in self.of_kind(kind))
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        recs = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(r) for r in recs)
+
+
+NULL_TRACER = Tracer(enabled=False)

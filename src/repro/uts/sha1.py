@@ -1,0 +1,78 @@
+"""Pure-Python SHA-1 (RFC 3174 / FIPS 180-1), implemented from scratch.
+
+UTS derives every tree node's description by SHA-1 hashing its parent's
+description plus the child index (Sect. 2 of the paper, citing RFC
+3174).  The reproduction therefore carries its own SHA-1 so the entire
+benchmark is self-contained; it is verified bit-for-bit against
+``hashlib`` in the test suite.  ``hashlib``'s C implementation remains
+the default *engine* for speed (see :mod:`repro.uts.rng`), with this
+module available as the ``sha1-pure`` engine.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["sha1", "sha1_hex"]
+
+_MASK = 0xFFFFFFFF
+
+# Per-round constants (FIPS 180-1 section 5).
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+_H_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(x: int, n: int) -> int:
+    return ((x << n) | (x >> (32 - n))) & _MASK
+
+
+def _pad(message: bytes) -> bytes:
+    """Append the '1' bit, zero padding, and the 64-bit length field."""
+    bit_len = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    return padded + struct.pack(">Q", bit_len)
+
+
+def _compress(h: tuple[int, int, int, int, int],
+              block: bytes) -> tuple[int, int, int, int, int]:
+    """One 512-bit block through the SHA-1 compression function."""
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 80):
+        w.append(_rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1))
+
+    a, b, c, d, e = h
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+        elif t < 40:
+            f = b ^ c ^ d
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+        else:
+            f = b ^ c ^ d
+        temp = (_rotl(a, 5) + f + e + w[t] + _K[t // 20]) & _MASK
+        a, b, c, d, e = temp, a, _rotl(b, 30), c, d
+
+    return (
+        (h[0] + a) & _MASK,
+        (h[1] + b) & _MASK,
+        (h[2] + c) & _MASK,
+        (h[3] + d) & _MASK,
+        (h[4] + e) & _MASK,
+    )
+
+
+def sha1(message: bytes) -> bytes:
+    """The 20-byte SHA-1 digest of ``message``."""
+    h = _H_INIT
+    padded = _pad(message)
+    for off in range(0, len(padded), 64):
+        h = _compress(h, padded[off:off + 64])
+    return struct.pack(">5I", *h)
+
+
+def sha1_hex(message: bytes) -> str:
+    """Hex form of :func:`sha1` (convenience for tests and docs)."""
+    return sha1(message).hex()

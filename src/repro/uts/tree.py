@@ -1,0 +1,111 @@
+"""Implicit UTS tree generation.
+
+A node is a ``(state, height)`` tuple -- the splittable-RNG state fully
+determines the subtree below it, so the tree is generated on the fly
+during the search and never materialized (nodes live only on DFS
+stacks, Sect. 2).
+
+:meth:`Tree.children` is the hot path of the entire reproduction: it is
+called once per tree node by whichever thread visits that node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple, Union
+
+from repro.uts.params import TreeParams
+from repro.uts.rng import RAND_MAX, RngEngine, get_engine
+
+__all__ = ["Node", "Tree"]
+
+#: A tree node: (rng state, height).  Plain tuple for speed.
+Node = Tuple[Union[bytes, int], int]
+
+
+class Tree:
+    """Generator of one implicit UTS tree."""
+
+    __slots__ = ("params", "engine", "_thresh", "_m", "_b0", "_is_binomial",
+                 "_gen_mx", "_geo_b0", "_geo_shape")
+
+    def __init__(self, params: TreeParams) -> None:
+        self.params = params
+        self.engine: RngEngine = get_engine(params.engine)
+        self._is_binomial = params.shape == "binomial"
+        self._b0 = params.b0
+        self._m = params.m
+        # rng_rand(state) < floor(q * 2^31)  <=>  interior node.
+        self._thresh = int(params.q * (RAND_MAX + 1))
+        self._gen_mx = params.gen_mx
+        self._geo_b0 = float(params.b0)
+        self._geo_shape = params.geo_shape
+
+    # -- node construction ---------------------------------------------------
+
+    def root(self) -> Node:
+        return (self.engine.init(self.params.seed), 0)
+
+    def num_children(self, node: Node) -> int:
+        """Child count of ``node`` (deterministic in its state)."""
+        state, height = node
+        if self._is_binomial:
+            if height == 0:
+                return self._b0
+            return self._m if self.engine.rand(state) < self._thresh else 0
+        return self._geometric_children(state, height)
+
+    def _geo_branching_factor(self, depth: int) -> float:
+        """Expected branching factor at ``depth`` per the UTS shape
+        functions (reference implementation's GEO variants)."""
+        shape = self._geo_shape
+        b0 = self._geo_b0
+        mx = self._gen_mx
+        if shape == "linear":
+            return b0 * (1.0 - depth / mx) if depth < mx else 0.0
+        if shape == "fixed":
+            return b0 if depth < mx else 0.0
+        if shape == "expdec":
+            if depth == 0:
+                return b0
+            if depth >= mx:
+                return 0.0
+            return b0 * depth ** (-math.log(b0) / math.log(float(mx)))
+        # cyclic: branching oscillates; hard stop at 5*gen_mx.
+        if depth > 5 * mx:
+            return 0.0
+        if depth % mx >= mx - 1:
+            return 0.0
+        return b0 ** math.sin(2.0 * math.pi * depth / mx)
+
+    def _geometric_children(self, state, depth: int) -> int:
+        """Geometric child count with depth-shaped mean (UTS 'GEO')."""
+        b_d = self._geo_branching_factor(depth)
+        if b_d <= 0.0:
+            return 0
+        p = 1.0 / (1.0 + b_d)
+        u = (self.engine.rand(state) + 0.5) / (RAND_MAX + 1.0)  # (0,1)
+        return int(math.floor(math.log(1.0 - u) / math.log(1.0 - p)))
+
+    def children(self, node: Node) -> list:
+        """Materialize the children of ``node`` (hot path)."""
+        n = self.num_children(node)
+        if n == 0:
+            return []
+        state, height = node
+        spawn = self.engine.spawn
+        h1 = height + 1
+        return [(spawn(state, i), h1) for i in range(n)]
+
+    # -- traversal helpers -----------------------------------------------------
+
+    def iter_dfs(self) -> Iterator[Node]:
+        """Depth-first iterator over every node (sequential reference)."""
+        stack = [self.root()]
+        pop = stack.pop
+        extend = stack.extend
+        children = self.children
+        while stack:
+            node = pop()
+            yield node
+            extend(children(node))

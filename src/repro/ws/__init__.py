@@ -1,0 +1,23 @@
+"""Work stealing: the paper's core contribution.
+
+Submodules: :mod:`~repro.ws.stack` (split DFS stack),
+:mod:`~repro.ws.config`, :mod:`~repro.ws.policies`,
+:mod:`~repro.ws.termination`, and :mod:`~repro.ws.algorithms`
+(the five implementations).
+"""
+
+from repro.ws.algorithms import ALGORITHMS, FIGURE_ORDER, get_algorithm
+from repro.ws.config import WsConfig
+from repro.ws.policies import ProbeOrder, steal_half, steal_one
+from repro.ws.stack import SplitStack
+
+__all__ = [
+    "WsConfig",
+    "SplitStack",
+    "ProbeOrder",
+    "steal_one",
+    "steal_half",
+    "ALGORITHMS",
+    "FIGURE_ORDER",
+    "get_algorithm",
+]

@@ -1,0 +1,56 @@
+"""The five load-balancing implementations (Figure 3 legend).
+
+========================  ======================================  ==========
+Label                     Description                             Paper sect.
+========================  ======================================  ==========
+``upc-sharedmem``         lock-based stacks + cancelable barrier  3.1
+``upc-term``              + streamlined termination               3.3.1
+``upc-term-rapdif``       + rapid diffusion (steal half)          3.3.2
+``upc-distmem``           + lock-less stack (request/response)    3.3.3
+``mpi-ws``                message-passing work stealing           3.2
+``upc-distmem-hier``      distmem + node-local-first probing      6.2 (ext.)
+========================  ======================================  ==========
+"""
+
+from repro.errors import ConfigError
+from repro.ws.algorithms.base import AlgorithmBase
+from repro.ws.algorithms.distmem import UpcDistMem
+from repro.ws.algorithms.distmem_hier import UpcDistMemHier
+from repro.ws.algorithms.mpi_ws import MpiWorkStealing
+from repro.ws.algorithms.rapdif import UpcTermRapdif
+from repro.ws.algorithms.shared_mem import UpcSharedMem
+from repro.ws.algorithms.term import UpcTerm
+
+ALGORITHMS = {
+    cls.name: cls
+    for cls in (UpcSharedMem, UpcTerm, UpcTermRapdif, UpcDistMem,
+                MpiWorkStealing, UpcDistMemHier)
+}
+
+#: The order used in the paper's figures (best first).
+FIGURE_ORDER = ["upc-distmem", "upc-term-rapdif", "upc-term",
+                "upc-sharedmem", "mpi-ws"]
+
+
+def get_algorithm(name: str):
+    """Look up an algorithm class by its Figure-3 label."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+__all__ = [
+    "AlgorithmBase",
+    "UpcDistMemHier",
+    "UpcSharedMem",
+    "UpcTerm",
+    "UpcTermRapdif",
+    "UpcDistMem",
+    "MpiWorkStealing",
+    "ALGORITHMS",
+    "FIGURE_ORDER",
+    "get_algorithm",
+]

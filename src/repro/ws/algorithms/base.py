@@ -1,0 +1,170 @@
+"""Shared machinery for the five load-balancing implementations.
+
+:class:`AlgorithmBase` owns the per-thread stacks, stats, ``work_avail``
+array, and the tree-exploration inner loop.  Subclasses supply
+``thread_main`` -- a generator per UPC thread driving the state machine
+of Figure 1 -- built from the helpers here.
+
+Simulation granularity: tree nodes are visited for real (SHA-1 spawns
+and exact counts) in *batches* of at most ``poll_interval`` nodes;
+simulated time is charged per batch.  All protocol interactions (locks,
+releases, steals, barriers) happen at batch boundaries, which is also
+how the real implementations behave -- a working thread notices steals
+and requests only when it touches its stack bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.errors import ProtocolError
+from repro.metrics.counters import ThreadStats
+from repro.metrics.states import SEARCHING, WORKING, StateTimer
+from repro.pgas.collectives import reduction_time
+from repro.pgas.machine import Machine, UpcContext
+from repro.sim.engine import Timeout
+from repro.uts.tree import Tree
+from repro.ws.config import WsConfig
+from repro.ws.policies import ProbeOrder, StealAmount, steal_one
+from repro.ws.stack import SplitStack
+
+__all__ = ["AlgorithmBase", "NO_WORK", "flatten"]
+
+#: ``work_avail`` sentinel: the thread has no work at all (Sect. 3.3.1
+#: relies on distinguishing this from "working with no surplus" == 0).
+NO_WORK = -1
+
+
+def flatten(chunks: List[List]) -> List:
+    """Concatenate stolen chunks into one node list."""
+    return [node for chunk in chunks for node in chunk]
+
+
+class AlgorithmBase:
+    """Common state + helpers; subclasses implement ``thread_main``."""
+
+    #: Label used in figures (matches the paper's Figure 3 legend).
+    name = "abstract"
+    #: How many chunks a thief takes, given the victim's availability.
+    steal_amount: StealAmount = staticmethod(steal_one)
+
+    def __init__(self, machine: Machine, tree: Tree, cfg: WsConfig) -> None:
+        self.machine = machine
+        self.tree = tree
+        self.cfg = cfg
+        self.net = machine.net
+        # Effective per-node visit time: the platform's sequential rate
+        # scaled by the workload's compute granularity (UTS knob for
+        # more expensive state evaluation).
+        granularity = getattr(getattr(tree, "params", None),
+                              "compute_granularity", 1)
+        self.t_node = machine.net.node_visit_time * granularity
+        if cfg.steal_policy is not None:
+            # Ablation hook: override the algorithm's native policy.
+            from repro.ws.policies import steal_half, steal_one
+            self.steal_amount = (steal_one if cfg.steal_policy == "one"
+                                 else steal_half)
+        n = machine.n_threads
+        self.stacks = [SplitStack() for _ in range(n)]
+        self.stats = [
+            ThreadStats(rank=r, timer=StateTimer(WORKING if r == 0 else SEARCHING))
+            for r in range(n)
+        ]
+        #: Chunks available per thread; NO_WORK when a thread is idle.
+        self.work_avail = machine.shared_array("work_avail", init=NO_WORK)
+        self.work_avail[0].poke(0)
+        self.probe_orders = [
+            ProbeOrder(r, n, machine.contexts[r].rng) for r in range(n)
+        ]
+        #: Nodes popped from a victim's stack but not yet pushed onto the
+        #: thief's (in transfer).  Part of the quiescence oracle.
+        self.in_flight_nodes = 0
+        # Thread 0 starts with the root; everyone else starts searching.
+        self.stacks[0].push(tree.root())
+        self.setup()
+
+    def setup(self) -> None:
+        """Hook for subclass shared state (locks, barriers, slots)."""
+
+    def thread_main(self, ctx: UpcContext) -> Generator:
+        raise NotImplementedError
+
+    def enter_state(self, ctx: UpcContext, state: str) -> None:
+        """Transition ``ctx``'s thread to a Figure-1 state, recording it
+        in both the state timer and (when tracing) the trace stream --
+        the latter feeds :func:`repro.metrics.timeline.render_timeline`."""
+        self.stats[ctx.rank].timer.enter(state, ctx.now)
+        ctx.trace("state", state)
+
+    # -- tree exploration (the hot loop) -----------------------------------
+
+    def explore_batch(self, rank: int) -> int:
+        """Visit up to ``poll_interval`` nodes from the local region.
+
+        Stops early when the local region is exhausted or grows past the
+        release threshold.  Returns the number of nodes visited; the
+        caller charges ``n * t_node`` of simulated time.
+        """
+        stack = self.stacks[rank]
+        local = stack.local
+        children = self.tree.children
+        limit = self.cfg.poll_interval
+        thresh = self.cfg.release_threshold
+        n = 0
+        pushed = 0
+        while local and n < limit:
+            kids = children(local.pop())
+            if kids:
+                local.extend(kids)
+                pushed += len(kids)
+            n += 1
+            if len(local) >= thresh:
+                break
+        stack.pops += n
+        stack.pushes += pushed
+        self.stats[rank].nodes_visited += n
+        return n
+
+    # -- run finalization -----------------------------------------------------
+
+    def quiescence_check(self) -> None:
+        """Soundness oracle: called by the thread *declaring* global
+        termination.  A correct detector only announces when no work
+        exists anywhere; this check reads the (simulation-global) state
+        at that instant and raises if the declaration is premature --
+        turning subtle termination-protocol bugs into loud failures.
+        """
+        for rank, stack in enumerate(self.stacks):
+            if not stack.is_empty:
+                raise ProtocolError(
+                    f"{self.name}: termination declared while T{rank} "
+                    f"holds {stack.total_nodes} unprocessed node(s)"
+                )
+        if self.in_flight_nodes:
+            raise ProtocolError(
+                f"{self.name}: termination declared with "
+                f"{self.in_flight_nodes} node(s) in flight between stacks"
+            )
+
+    def final_reduction(self, ctx: UpcContext) -> Generator:
+        """Rank 0 pays the cost of the final count reduction."""
+        if ctx.rank == 0:
+            cost = reduction_time(self.net, self.machine.n_threads)
+            if cost > 0:
+                yield Timeout(cost)
+
+    def finalize(self) -> None:
+        """Close timers and check conservation invariants."""
+        now = self.machine.now
+        for st in self.stats:
+            st.timer.finish(now)
+        for stack in self.stacks:
+            if not stack.is_empty:
+                raise ProtocolError(
+                    f"{self.name}: stack of T{stack!r} non-empty after "
+                    "termination (work lost in protocol)"
+                )
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(st.nodes_visited for st in self.stats)

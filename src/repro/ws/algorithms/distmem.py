@@ -1,0 +1,214 @@
+"""``upc-distmem``: the distributed-memory algorithm (Sect. 3.3).
+
+All three refinements together:
+
+* streamlined termination (3.3.1) -- via
+  :class:`~repro.ws.algorithms.streamlined_phase.StreamlinedTerminationMixin`,
+* rapid diffusion (3.3.2) -- thieves take half the available chunks,
+* **lock-less DFS stack** (3.3.3) -- the owner is the only thread that
+  ever touches its stack.  A thief writes its ID into a lock-protected
+  *request variable* at the victim; the victim polls that variable (a
+  free local read) between batches of tree work and services a pending
+  request with two remote writes (grant size + work location) plus a
+  local reset.  The thief then pulls the nodes with a one-sided get
+  while the victim keeps working.
+
+The victim services or denies requests at every poll point in every
+state (working, searching, in-barrier), so a thief never waits
+unboundedly: either the request is granted, or it is denied and the
+thief resumes probing.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.metrics.states import SEARCHING, STEALING, WORKING
+from repro.pgas.machine import UpcContext
+from repro.sim.engine import SimEvent
+from repro.ws.algorithms.base import NO_WORK, AlgorithmBase, flatten
+from repro.ws.algorithms.streamlined_phase import StreamlinedTerminationMixin
+from repro.ws.policies import steal_half
+from repro.ws.termination import StreamlinedBarrier
+
+__all__ = ["UpcDistMem"]
+
+
+class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
+    name = "upc-distmem"
+    steal_amount = staticmethod(steal_half)
+
+    def setup(self) -> None:
+        self.barrier = StreamlinedBarrier(self.machine)
+        #: request[v] holds the rank of the thief requesting from v.
+        self.request = self.machine.shared_array("steal_request", init=None)
+        #: Locks guarding the request variables (NOT the stacks).
+        self.req_locks = self.machine.lock_array("req_lock")
+        #: Simulated "response variable" at each thief: a one-shot event
+        #: the victim fires with the granted chunks (spinning on it is a
+        #: local read, hence free for the thief).
+        self.response_events: List[Optional[SimEvent]] = [None] * self.machine.n_threads
+
+    # -- victim side -----------------------------------------------------------
+
+    def service_request(self, ctx: UpcContext) -> Generator:
+        """Poll the local request variable; service a pending request.
+
+        Free when no request is pending (a local read).  Granting costs
+        the victim two remote writes; the reset is a local write.
+        """
+        rank = ctx.rank
+        slot = self.request[rank]
+        thief = slot.value
+        if thief is None:
+            return
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        if stack.shared_chunks > 0:
+            take = self.steal_amount(stack.shared_chunks)
+            chunks = stack.steal_chunks(take)
+            self.in_flight_nodes += sum(len(c) for c in chunks)
+            self.work_avail[rank].poke(stack.shared_chunks)
+            st.requests_granted += 1
+        else:
+            chunks = []
+            st.requests_denied += 1
+        # Two remote writes (amount given + address of the work).  These
+        # are one-sided puts issued outside any critical section: the
+        # victim pays only local injection overhead and keeps working;
+        # the thief sees the response a network latency later.
+        cost = 2.0 * self.net.msg_injection
+        if cost > 0:
+            yield from ctx.compute(cost)
+        slot.poke(None)  # local reset of the request variable
+        ev = self.response_events[thief]
+        self.response_events[thief] = None
+        ev.succeed(chunks, delay=self.net.shared_ref(rank, thief))
+        ctx.trace("service", f"thief=T{thief} chunks={len(chunks)}")
+
+    # -- thief side --------------------------------------------------------------
+
+    def try_steal(self, ctx: UpcContext, victim: int) -> Generator:
+        """Write our ID into the victim's request variable and await the
+        response (Sect. 3.3.3).  Returns True if work was obtained."""
+        rank = ctx.rank
+        st = self.stats[rank]
+        st.steal_attempts += 1
+        lk = self.req_locks[victim]
+        # "Attempts to write its thread ID" -- a lock *attempt*: if the
+        # slot's lock is held, another thief is requesting; rather than
+        # queue (and pile up like the lock-based steal), move on.
+        got = yield from ctx.try_lock(lk)
+        if not got:
+            return False
+        # Read the request variable under its lock.
+        yield from ctx.compute(self.net.shared_ref(rank, victim))
+        if self.request[victim].value is not None:
+            # Another thief got there first this round.
+            yield from ctx.unlock(lk)
+            return False
+        ev = self.machine.sim.event(name=f"response.T{rank}")
+        self.response_events[rank] = ev
+        yield from ctx.compute(self.net.shared_ref(rank, victim))
+        self.request[victim].poke(rank)
+        yield from ctx.unlock(lk)
+        # Wait for the victim's response -- spinning on our own response
+        # variable, a local read, so no cost beyond the elapsed time.
+        chunks = yield ev
+        if not chunks:
+            return False
+        nodes = flatten(chunks)
+        yield from ctx.chunk_get(victim, len(nodes))
+        self.stacks[rank].push_many(nodes)
+        self.in_flight_nodes -= len(nodes)
+        st.steals_ok += 1
+        st.chunks_stolen += len(chunks)
+        st.nodes_stolen += len(nodes)
+        self.work_avail[rank].poke(0)
+        ctx.trace("steal", f"from=T{victim} chunks={len(chunks)} nodes={len(nodes)}")
+        return True
+
+    # -- working phase -----------------------------------------------------------
+
+    def working_phase(self, ctx: UpcContext) -> Generator:
+        rank = ctx.rank
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        self.enter_state(ctx, WORKING)
+        self.work_avail[rank].poke(stack.shared_chunks)
+        while True:
+            yield from self.service_request(ctx)
+            if not stack.local:
+                if stack.shared_chunks:
+                    # Owner-only move: no lock needed (Sect. 3.3.3).
+                    stack.reacquire()
+                    self.work_avail[rank].poke(stack.shared_chunks)
+                    st.reacquires += 1
+                    continue
+                break
+            n = self.explore_batch(rank)
+            if n:
+                yield from ctx.compute(n * self.t_node)
+            while stack.local_size >= self.cfg.release_threshold:
+                stack.release(self.cfg.chunk_size)
+                self.work_avail[rank].poke(stack.shared_chunks)
+                st.releases += 1
+        self.work_avail[rank].poke(NO_WORK)
+        # Deny any request that raced our transition to idle.
+        yield from self.service_request(ctx)
+        self.enter_state(ctx, SEARCHING)
+
+    # -- searching ------------------------------------------------------------------
+
+    def search_phase(self, ctx: UpcContext) -> Generator:
+        rank = ctx.rank
+        st = self.stats[rank]
+        shared_ref = self.net.shared_ref
+        backoff = self.cfg.search_backoff_min
+        while True:
+            yield from self.service_request(ctx)
+            any_working = False
+            cost_acc = 0.0
+            for victim in self.probe_orders[rank].cycle():
+                st.probes += 1
+                cost_acc += shared_ref(rank, victim)
+                avail = self.work_avail[victim].value
+                if avail == 0:
+                    any_working = True
+                elif avail > 0:
+                    if cost_acc > 0:
+                        yield from ctx.compute(cost_acc)
+                        cost_acc = 0.0
+                    self.enter_state(ctx, STEALING)
+                    ok = yield from self.try_steal(ctx, victim)
+                    self.enter_state(ctx, SEARCHING)
+                    if ok:
+                        return True
+                    # Denied: "continue probing other threads" (3.3.3).
+                    any_working = True
+            if cost_acc > 0:
+                yield from ctx.compute(cost_acc)
+            if not any_working:
+                return False
+            yield from ctx.compute(backoff)
+            backoff = min(backoff * self.cfg.search_backoff_factor,
+                          self.cfg.search_backoff_max)
+
+    def barrier_service_hook(self, ctx: UpcContext) -> Generator:
+        """In-barrier threads still deny racing steal requests."""
+        yield from self.service_request(ctx)
+
+    def thread_main(self, ctx: UpcContext) -> Generator:
+        while True:
+            if not self.stacks[ctx.rank].is_empty:
+                yield from self.working_phase(ctx)
+            found = yield from self.search_phase(ctx)
+            if found:
+                continue
+            terminated = yield from self.termination_phase(ctx)
+            if terminated:
+                break
+        # A last denial sweep: a thief's request may have landed while
+        # we were inside the announcing barrier.
+        yield from self.service_request(ctx)
+        yield from self.final_reduction(ctx)

@@ -1,0 +1,169 @@
+"""Lock-based stack machinery shared by the upc-sharedmem family.
+
+Sect. 3.1: every thread's shared stack region is guarded by a global
+lock.  The owner locks to ``release``/``reacquire``; thieves lock to
+reserve chunks.  The reserved chunk is transferred *outside* the
+critical section with a one-sided get, per the paper.
+
+The costs the paper attributes to this design emerge from the model:
+the owner's lock is cheap for the owner (homed locally) but FIFO-fair,
+so remote thieves holding it for a full remote round trip stall the
+working thread -- "multiple remote threads attempting to steal work
+from the working thread can keep the stack locked for a comparatively
+long time".
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.metrics.states import SEARCHING, STEALING, WORKING
+from repro.ws.algorithms.base import NO_WORK, AlgorithmBase, flatten
+
+__all__ = ["LockBasedAlgorithm"]
+
+
+class LockBasedAlgorithm(AlgorithmBase):
+    """Working/steal phases for algorithms with lock-guarded stacks."""
+
+    def setup(self) -> None:
+        self.stack_locks = self.machine.lock_array("stack_lock")
+
+    # -- working phase ---------------------------------------------------------
+
+    def working_phase(self, ctx) -> Generator:
+        """Deplete the local+shared stack, releasing surplus as we go."""
+        rank = ctx.rank
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        self.enter_state(ctx, WORKING)
+        self.work_avail[rank].poke(stack.shared_chunks)
+        while True:
+            if not stack.local:
+                if stack.shared_chunks:
+                    yield from self.reacquire(ctx)
+                    continue
+                break
+            n = self.explore_batch(rank)
+            if n:
+                yield from ctx.compute(n * self.t_node)
+            while stack.local_size >= self.cfg.release_threshold:
+                yield from self.release(ctx)
+        self.work_avail[rank].poke(NO_WORK)
+        self.enter_state(ctx, SEARCHING)
+
+    def release(self, ctx) -> Generator:
+        """Move one chunk local -> shared, under the own-stack lock."""
+        rank = ctx.rank
+        stack = self.stacks[rank]
+        lk = self.stack_locks[rank]
+        yield from ctx.lock(lk)
+        stack.release(self.cfg.chunk_size)
+        self.work_avail[rank].poke(stack.shared_chunks)
+        yield from ctx.unlock(lk)
+        self.stats[rank].releases += 1
+        ctx.trace("release", f"chunks={stack.shared_chunks}")
+        yield from self.after_release(ctx)
+
+    def after_release(self, ctx) -> Generator:
+        """Hook: upc-sharedmem resets the cancelable barrier here."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def reacquire(self, ctx) -> Generator:
+        """Move the newest shared chunk back to local, under lock.
+
+        A thief queued ahead of us on our own lock may have taken the
+        last chunk, so re-check under the lock before moving.
+        """
+        rank = ctx.rank
+        stack = self.stacks[rank]
+        lk = self.stack_locks[rank]
+        yield from ctx.lock(lk)
+        if stack.shared_chunks:
+            stack.reacquire()
+            self.work_avail[rank].poke(stack.shared_chunks)
+            self.stats[rank].reacquires += 1
+        yield from ctx.unlock(lk)
+
+    # -- stealing -----------------------------------------------------------------
+
+    def try_steal(self, ctx, victim: int) -> Generator:
+        """Lock the victim's stack, reserve chunk(s), transfer outside
+        the critical region (Sect. 3.1 'Work Stealing').  Returns True
+        if work was obtained."""
+        rank = ctx.rank
+        st = self.stats[rank]
+        st.steal_attempts += 1
+        vstack = self.stacks[victim]
+        lk = self.stack_locks[victim]
+        yield from ctx.lock(lk)
+        # Re-check availability under the lock (one shared reference).
+        yield from ctx.compute(self.net.shared_ref(rank, victim))
+        nch = vstack.shared_chunks
+        if nch == 0:
+            # The probe raced a competing thief or the owner; move on.
+            yield from ctx.unlock(lk)
+            return False
+        take = self.steal_amount(nch)
+        chunks = vstack.steal_chunks(take)
+        self.work_avail[victim].poke(vstack.shared_chunks)
+        yield from ctx.compute(self.net.shared_ref(rank, victim))
+        yield from ctx.unlock(lk)
+        # One-sided transfer outside the critical region; the victim
+        # keeps working during this.
+        nodes = flatten(chunks)
+        self.in_flight_nodes += len(nodes)
+        yield from ctx.chunk_get(victim, len(nodes))
+        self.stacks[rank].push_many(nodes)
+        self.in_flight_nodes -= len(nodes)
+        st.steals_ok += 1
+        st.chunks_stolen += take
+        st.nodes_stolen += len(nodes)
+        ctx.trace("steal", f"from=T{victim} chunks={take} nodes={len(nodes)}")
+        return True
+
+    # -- searching -----------------------------------------------------------------
+
+    def search_phase(self, ctx, persist_while_working: bool) -> Generator:
+        """Probe for a victim; steal if found.
+
+        Returns True once work is in hand.  Returns False when the
+        thread should enter termination detection: after a single
+        failed cycle if ``persist_while_working`` is False (sharedmem,
+        Sect. 3.1), or only once every other thread reports NO_WORK if
+        True (streamlined, Sect. 3.3.1).
+        """
+        rank = ctx.rank
+        st = self.stats[rank]
+        shared_ref = self.net.shared_ref
+        backoff = self.cfg.search_backoff_min
+        while True:
+            any_working = False
+            cost_acc = 0.0
+            for victim in self.probe_orders[rank].cycle():
+                st.probes += 1
+                cost_acc += shared_ref(rank, victim)
+                avail = self.work_avail[victim].value
+                if avail == 0:
+                    any_working = True
+                elif avail > 0:
+                    if cost_acc > 0:
+                        yield from ctx.compute(cost_acc)
+                        cost_acc = 0.0
+                    self.enter_state(ctx, STEALING)
+                    ok = yield from self.try_steal(ctx, victim)
+                    self.enter_state(ctx, SEARCHING)
+                    if ok:
+                        return True
+                    # "The probe proceeds to the next victim" (Sect. 3.1).
+                    any_working = True
+            if cost_acc > 0:
+                yield from ctx.compute(cost_acc)
+            if not persist_while_working:
+                return False
+            if not any_working:
+                return False
+            yield from ctx.compute(backoff)
+            backoff = min(backoff * self.cfg.search_backoff_factor,
+                          self.cfg.search_backoff_max)

@@ -1,0 +1,213 @@
+"""``mpi-ws``: message-passing work stealing (Sect. 3.2, Dinan et al.).
+
+Two-sided protocol over :mod:`repro.msg`:
+
+* An idle thread sends a ``REQUEST`` to a random victim and polls for
+  the reply while servicing other traffic (no blocking receives, so
+  request cycles cannot deadlock).
+* Working threads poll for requests every ``poll_interval`` nodes --
+  the user-tunable polling interval the paper mentions -- and answer
+  with one chunk of work (``WORK``) or a denial (``NOWORK``).
+* Termination is Dijkstra's token algorithm on a ring
+  (:mod:`repro.ws.termination.token`); rank 0 broadcasts ``TERM`` when
+  a white token survives a full round.
+
+The stack needs no locks (single owner, like the paper notes for MPI),
+but every steal costs a full request/response message exchange and is
+delayed by the victim's polling interval.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.metrics.states import SEARCHING, WORKING
+from repro.msg.comm import MsgWorld
+from repro.net.model import NODE_DESC_BYTES
+from repro.pgas.machine import UpcContext
+from repro.ws.algorithms.base import AlgorithmBase
+from repro.ws.termination.token import BLACK, WHITE, TokenState
+
+__all__ = ["MpiWorkStealing"]
+
+REQUEST = "REQUEST"
+WORK = "WORK"
+NOWORK = "NOWORK"
+TOKEN = "TOKEN"
+TERM = "TERM"
+
+_CTRL_BYTES = 8  # control messages: a tag and a word of payload
+
+
+class MpiWorkStealing(AlgorithmBase):
+    name = "mpi-ws"
+
+    def setup(self) -> None:
+        self.world = MsgWorld(self.machine)
+        self.endpoints = [self.world.endpoint(c) for c in self.machine.contexts]
+        self.tokens = [TokenState(r, self.machine.n_threads)
+                       for r in range(self.machine.n_threads)]
+        self.terminated = False
+
+    # -- messaging helpers ---------------------------------------------------
+
+    def _send(self, ctx: UpcContext, dst: int, tag: str, payload=None,
+              nbytes: int = _CTRL_BYTES) -> Generator:
+        yield from self.endpoints[ctx.rank].send(dst, tag, payload, nbytes)
+        self.stats[ctx.rank].msgs_sent += 1
+
+    def _serve_request(self, ctx: UpcContext, thief: int) -> Generator:
+        """Answer a steal request: one chunk if the shared region has
+        one, else a denial."""
+        rank = ctx.rank
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        if stack.shared_chunks > 0:
+            chunk = stack.steal_chunks(1)[0]
+            self.in_flight_nodes += len(chunk)
+            st.requests_granted += 1
+            self.tokens[rank].on_sent_work(thief)
+            yield from self._send(ctx, thief, WORK, payload=chunk,
+                                  nbytes=len(chunk) * NODE_DESC_BYTES + _CTRL_BYTES)
+        else:
+            st.requests_denied += 1
+            yield from self._send(ctx, thief, NOWORK)
+
+    def _forward_token(self, ctx: UpcContext) -> Generator:
+        """Idle non-zero rank holding a token: pass it along the ring."""
+        token = self.tokens[ctx.rank]
+        colour = token.forward()
+        self.stats[ctx.rank].tokens_forwarded += 1
+        yield from self._send(ctx, token.next_rank, TOKEN, payload=colour)
+
+    @staticmethod
+    def _term_children(rank: int, n: int) -> list:
+        """Binary-tree fan-out over ranks for the TERM broadcast."""
+        kids = [2 * rank + 1, 2 * rank + 2]
+        return [k for k in kids if k < n]
+
+    def _broadcast_term(self, ctx: UpcContext) -> Generator:
+        """Rank 0 roots a binary TERM tree; receivers forward to their
+        children, so the announcement costs O(log n) serial hops
+        instead of n serial sends from rank 0."""
+        self.quiescence_check()
+        self.terminated = True
+        for dst in self._term_children(ctx.rank, self.machine.n_threads):
+            yield from self._send(ctx, dst, TERM)
+        ctx.trace("mpi.term")
+
+    def _forward_term(self, ctx: UpcContext) -> Generator:
+        for dst in self._term_children(ctx.rank, self.machine.n_threads):
+            yield from self._send(ctx, dst, TERM)
+
+    # -- working phase ------------------------------------------------------------
+
+    def working_phase(self, ctx: UpcContext) -> Generator:
+        rank = ctx.rank
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        ep = self.endpoints[rank]
+        self.enter_state(ctx, WORKING)
+        while True:
+            # Poll for steal requests and tokens (the MPI polling point).
+            while (msg := ep.iprobe(tags=(REQUEST, TOKEN))) is not None:
+                if msg.tag == REQUEST:
+                    yield from self._serve_request(ctx, msg.src)
+                else:
+                    # Busy: hold the token until idle.  Rank 0 receiving
+                    # the token while busy invalidates the round.
+                    colour = BLACK if rank == 0 else msg.payload
+                    self.tokens[rank].on_token(colour)
+            if not stack.local:
+                if stack.shared_chunks:
+                    stack.reacquire()
+                    st.reacquires += 1
+                    continue
+                break
+            n = self.explore_batch(rank)
+            if n:
+                yield from ctx.compute(n * self.t_node)
+            while stack.local_size >= self.cfg.release_threshold:
+                stack.release(self.cfg.chunk_size)
+                st.releases += 1
+        self.enter_state(ctx, SEARCHING)
+
+    # -- idle phase ----------------------------------------------------------------
+
+    def idle_phase(self, ctx: UpcContext) -> Generator:
+        """Search for work by messaging; handle tokens; detect TERM.
+
+        Returns True on termination, False when work has been obtained.
+        """
+        rank = ctx.rank
+        n = self.machine.n_threads
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        ep = self.endpoints[rank]
+        token = self.tokens[rank]
+        if n == 1:
+            return True  # alone: local exhaustion is global termination
+        outstanding: int | None = None
+        backoff = self.cfg.search_backoff_min
+        while True:
+            progressed = False
+            while (msg := ep.iprobe()) is not None:
+                progressed = True
+                if msg.tag == TERM:
+                    yield from self._forward_term(ctx)
+                    return True
+                if msg.tag == REQUEST:
+                    st.requests_denied += 1
+                    yield from self._send(ctx, msg.src, NOWORK)
+                elif msg.tag == TOKEN:
+                    token.on_token(msg.payload)
+                elif msg.tag == WORK:
+                    stack.push_many(msg.payload)
+                    self.in_flight_nodes -= len(msg.payload)
+                    st.steals_ok += 1
+                    st.chunks_stolen += 1
+                    st.nodes_stolen += len(msg.payload)
+                    return False
+                elif msg.tag == NOWORK:
+                    outstanding = None
+            # Token handling while idle.
+            if token.holding is not None:
+                if rank == 0:
+                    if token.round_succeeded():
+                        yield from self._broadcast_term(ctx)
+                        return True
+                    colour = token.initiate()
+                    yield from self._send(ctx, token.next_rank, TOKEN,
+                                          payload=colour)
+                else:
+                    yield from self._forward_token(ctx)
+                progressed = True
+            elif rank == 0 and not token.in_flight:
+                token.launch()
+                yield from self._send(ctx, token.next_rank, TOKEN, payload=WHITE)
+                progressed = True
+            # One outstanding steal request at a time.
+            if outstanding is None:
+                victim = self.probe_orders[rank].one()
+                st.steal_attempts += 1
+                st.probes += 1
+                yield from self._send(ctx, victim, REQUEST)
+                outstanding = victim
+                progressed = True
+            if progressed:
+                backoff = self.cfg.search_backoff_min
+            yield from ctx.compute(backoff)
+            backoff = min(backoff * self.cfg.search_backoff_factor,
+                          self.cfg.search_backoff_max)
+
+    def thread_main(self, ctx: UpcContext) -> Generator:
+        st = self.stats[ctx.rank]
+        while True:
+            if not self.stacks[ctx.rank].is_empty:
+                yield from self.working_phase(ctx)
+            st.barrier_entries += 1  # idle episodes (search + detection)
+            done = yield from self.idle_phase(ctx)
+            if done:
+                break
+            st.barrier_exits += 1
+        yield from self.final_reduction(ctx)

@@ -1,0 +1,19 @@
+"""``upc-term-rapdif``: upc-term + rapid diffusion (Sect. 3.3.2).
+
+One change: a thief takes *half* the victim's available chunks (one if
+only one is available).  Freshly fed thieves immediately re-release
+surplus, multiplying the number of "work sources" and cutting both the
+probes needed to find a victim and contention at the sources.
+"""
+
+from __future__ import annotations
+
+from repro.ws.algorithms.term import UpcTerm
+from repro.ws.policies import steal_half
+
+__all__ = ["UpcTermRapdif"]
+
+
+class UpcTermRapdif(UpcTerm):
+    name = "upc-term-rapdif"
+    steal_amount = staticmethod(steal_half)

@@ -1,0 +1,54 @@
+"""``upc-sharedmem``: the shared-memory algorithm of Sect. 3.1.
+
+Lock-guarded split stacks, steal-one-chunk, and cancelable-barrier
+termination.  Performs well when remote references are cheap (SGI
+Altix) and collapses on clusters, where every release's barrier reset
+and every steal's remote locking eat the working threads alive --
+which is exactly what Figure 4 shows.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.metrics.states import BARRIER, SEARCHING
+from repro.pgas.machine import UpcContext
+from repro.ws.algorithms.lock_based import LockBasedAlgorithm
+from repro.ws.policies import steal_one
+from repro.ws.termination import CancelableBarrier
+
+__all__ = ["UpcSharedMem"]
+
+
+class UpcSharedMem(LockBasedAlgorithm):
+    name = "upc-sharedmem"
+    steal_amount = staticmethod(steal_one)
+
+    def setup(self) -> None:
+        super().setup()
+        self.barrier = CancelableBarrier(self.machine,
+                                         on_terminate=self.quiescence_check)
+
+    def after_release(self, ctx: UpcContext) -> Generator:
+        """Every release resets (cancels) the barrier -- the remote
+        write the paper blames for delaying working threads."""
+        yield from self.barrier.reset(ctx)
+
+    def thread_main(self, ctx: UpcContext) -> Generator:
+        st = self.stats[ctx.rank]
+        while True:
+            if not self.stacks[ctx.rank].is_empty:
+                yield from self.working_phase(ctx)
+            # Work discovery: a single failed probe cycle sends the
+            # thread to the barrier (Sect. 3.1 'Termination Detection').
+            found = yield from self.search_phase(ctx, persist_while_working=False)
+            if found:
+                continue
+            st.barrier_entries += 1
+            self.enter_state(ctx, BARRIER)
+            terminated = yield from self.barrier.enter_and_wait(ctx)
+            if terminated:
+                break
+            st.barrier_exits += 1
+            self.enter_state(ctx, SEARCHING)
+        yield from self.final_reduction(ctx)

@@ -1,0 +1,75 @@
+"""The streamlined termination phase (Sect. 3.3.1), shared by
+upc-term, upc-term-rapdif, and upc-distmem.
+
+A thread arrives here only after observing every other thread at
+``NO_WORK``.  It enters the counted barrier; the last thread in
+launches the tree-based announcement.  While waiting, each thread
+probes *one* other thread per poll period (with backoff) and -- if it
+spots surplus -- leaves the barrier, attempts the steal, and re-enters
+on failure.  Leaving *before* stealing keeps ``count == THREADS`` a
+sound proof that no work exists anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.metrics.states import BARRIER, SEARCHING, STEALING
+from repro.pgas.machine import UpcContext
+
+__all__ = ["StreamlinedTerminationMixin"]
+
+
+class StreamlinedTerminationMixin:
+    """Requires: ``self.barrier`` (StreamlinedBarrier), ``self.try_steal``,
+    ``self.work_avail``, ``self.probe_orders``, ``self.stats``, ``self.cfg``,
+    ``self.net``."""
+
+    def barrier_service_hook(self, ctx: UpcContext) -> Generator:
+        """Per-poll hook (distmem denies pending steal requests here)."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def termination_phase(self, ctx: UpcContext) -> Generator:
+        """Returns True on global termination, False if work was stolen
+        (the caller resumes the working phase)."""
+        st = self.stats[ctx.rank]
+        st.barrier_entries += 1
+        self.enter_state(ctx, BARRIER)
+        last = yield from self.barrier.enter(ctx)
+        if last:
+            self.quiescence_check()
+            yield from self.barrier.announce(ctx)
+            return True
+        poll = self.cfg.barrier_poll_min
+        order = self.probe_orders[ctx.rank]
+        while True:
+            yield from self.barrier_service_hook(ctx)
+            if self.barrier.terminated:
+                return True
+            # Inspect a single other thread (Sect. 3.3.1).
+            victim = order.one()
+            st.probes += 1
+            cost = self.net.shared_ref(ctx.rank, victim)
+            if cost > 0:
+                yield from ctx.compute(cost)
+            if self.work_avail[victim].value > 0:
+                # Leave the barrier before touching the work so the
+                # count never certifies termination with work in flight.
+                yield from self.barrier.leave(ctx)
+                self.enter_state(ctx, STEALING)
+                ok = yield from self.try_steal(ctx, victim)
+                if ok:
+                    st.barrier_exits += 1
+                    self.enter_state(ctx, SEARCHING)
+                    return False
+                self.enter_state(ctx, BARRIER)
+                last = yield from self.barrier.enter(ctx)
+                if last:
+                    self.quiescence_check()
+                    yield from self.barrier.announce(ctx)
+                    return True
+                poll = self.cfg.barrier_poll_min
+                continue
+            yield from ctx.compute(poll)
+            poll = min(poll * 2.0, self.cfg.barrier_poll_max)

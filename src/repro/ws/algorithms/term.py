@@ -1,0 +1,40 @@
+"""``upc-term``: upc-sharedmem + streamlined termination (Sect. 3.3.1).
+
+The stack discipline (locks, steal-one) is unchanged; only termination
+differs: threads keep searching while any other thread is observed
+working, enter the barrier just once in the common case, and the last
+thread announces termination through a tree.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.pgas.machine import UpcContext
+from repro.ws.algorithms.lock_based import LockBasedAlgorithm
+from repro.ws.algorithms.streamlined_phase import StreamlinedTerminationMixin
+from repro.ws.policies import steal_one
+from repro.ws.termination import StreamlinedBarrier
+
+__all__ = ["UpcTerm"]
+
+
+class UpcTerm(StreamlinedTerminationMixin, LockBasedAlgorithm):
+    name = "upc-term"
+    steal_amount = staticmethod(steal_one)
+
+    def setup(self) -> None:
+        super().setup()
+        self.barrier = StreamlinedBarrier(self.machine)
+
+    def thread_main(self, ctx: UpcContext) -> Generator:
+        while True:
+            if not self.stacks[ctx.rank].is_empty:
+                yield from self.working_phase(ctx)
+            found = yield from self.search_phase(ctx, persist_while_working=True)
+            if found:
+                continue
+            terminated = yield from self.termination_phase(ctx)
+            if terminated:
+                break
+        yield from self.final_reduction(ctx)

@@ -1,0 +1,75 @@
+"""Work-stealing configuration knobs.
+
+The paper's primary tunable is the chunk size ``k`` (Sect. 2, 4.2.1);
+the rest are secondary protocol parameters with defaults matching the
+reference implementations' behaviour (release threshold of ``2k``,
+MPI-style polling interval, and the search/barrier backoff the
+simulation uses in place of hardware spin loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["WsConfig"]
+
+
+@dataclass(frozen=True)
+class WsConfig:
+    """Tunables shared by all five load-balancing implementations."""
+
+    #: Chunk size ``k``: nodes moved per release/reacquire/steal unit.
+    chunk_size: int = 8
+    #: Release when the local region holds >= ``release_factor * k``
+    #: nodes ("at least 2k in our implementation", Sect. 3.1).
+    release_factor: int = 2
+    #: Max nodes explored per uninterrupted batch; this is also the
+    #: granularity at which a distmem/MPI victim polls for requests.
+    poll_interval: int = 32
+    #: Initial backoff between failed full probe cycles while searching.
+    search_backoff_min: float = 2e-6
+    #: Backoff cap while searching.
+    search_backoff_max: float = 200e-6
+    #: Multiplicative backoff growth factor.
+    search_backoff_factor: float = 2.0
+    #: Poll period bounds for threads waiting inside the termination
+    #: barrier (they "only inspect one other thread", Sect. 3.3.1).
+    barrier_poll_min: float = 10e-6
+    barrier_poll_max: float = 1000e-6
+    #: Override the algorithm's steal-amount policy: "one", "half", or
+    #: None to keep each algorithm's native policy.  Lets ablations
+    #: isolate rapid diffusion from the other refinements.  (mpi-ws
+    #: always ships one chunk per WORK message, as in the reference
+    #: implementation; the override affects the UPC algorithms.)
+    steal_policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.release_factor < 2:
+            # Below 2 a release could empty the local region entirely,
+            # starving the worker of its own stack.
+            raise ConfigError("release_factor must be >= 2")
+        if self.poll_interval < 1:
+            raise ConfigError("poll_interval must be >= 1")
+        if self.search_backoff_min <= 0 or self.search_backoff_max < self.search_backoff_min:
+            raise ConfigError("search backoff bounds invalid")
+        if self.search_backoff_factor < 1.0:
+            raise ConfigError("search_backoff_factor must be >= 1")
+        if self.barrier_poll_min <= 0 or self.barrier_poll_max < self.barrier_poll_min:
+            raise ConfigError("barrier poll bounds invalid")
+        if self.steal_policy not in (None, "one", "half"):
+            raise ConfigError(
+                f"steal_policy must be None, 'one', or 'half'; "
+                f"got {self.steal_policy!r}"
+            )
+
+    @property
+    def release_threshold(self) -> int:
+        return self.release_factor * self.chunk_size
+
+    def with_chunk_size(self, k: int) -> "WsConfig":
+        return replace(self, chunk_size=k)

@@ -1,0 +1,92 @@
+"""Victim-selection and steal-amount policies.
+
+Two axes the paper varies:
+
+* *How much to steal* -- one chunk (shared-memory algorithm and the MPI
+  baseline) vs. half the victim's available chunks ("rapid diffusion",
+  Sect. 3.3.2).
+* *Whom to probe* -- a pseudo-random probe order over the other threads
+  (Sect. 3.1, "a pseudo-random probe order is used to examine other
+  threads' stacks").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.sim.rng import StreamRng
+
+__all__ = ["steal_one", "steal_half", "StealAmount", "ProbeOrder",
+           "HierarchicalProbeOrder"]
+
+#: Maps the victim's available chunk count (>0) to chunks to take.
+StealAmount = Callable[[int], int]
+
+
+def steal_one(available_chunks: int) -> int:
+    """Always take a single chunk (Sect. 3.1 / mpi-ws behaviour)."""
+    if available_chunks < 1:
+        raise ValueError("steal amount queried with no chunks available")
+    return 1
+
+
+def steal_half(available_chunks: int) -> int:
+    """Take half the chunks when more than one is available (Sect. 3.3.2)."""
+    if available_chunks < 1:
+        raise ValueError("steal amount queried with no chunks available")
+    if available_chunks == 1:
+        return 1
+    return (available_chunks + 1) // 2
+
+
+class ProbeOrder:
+    """Pseudo-random victim orders for one thread.
+
+    A fresh shuffled permutation of the other ranks per probe cycle,
+    drawn from the thread's deterministic stream.
+    """
+
+    __slots__ = ("_others", "_rng")
+
+    def __init__(self, rank: int, n_threads: int, rng: StreamRng) -> None:
+        self._others = [t for t in range(n_threads) if t != rank]
+        self._rng = rng
+
+    def cycle(self) -> List[int]:
+        """A new shuffled probe order over the other ranks."""
+        return self._rng.shuffled(self._others)
+
+    def one(self) -> int:
+        """A single random victim (used inside the termination barrier)."""
+        return self._rng.choice(self._others)
+
+
+class HierarchicalProbeOrder(ProbeOrder):
+    """Locality-aware probe order (the paper's Sect. 6.2 future work).
+
+    "One way we may decrease the latency of probing for work and
+    stealing in large clusters of shared memory multiprocessor nodes is
+    to first try to steal work within a cluster node before probing
+    off-node" -- implemented here with the cost model's topology playing
+    the role of ``bupc_thread_distance()``: every cycle probes the
+    same-node ranks (cheap references) before the off-node ranks.
+    """
+
+    __slots__ = ("_on_node", "_off_node")
+
+    def __init__(self, rank: int, n_threads: int, rng: StreamRng,
+                 same_node) -> None:
+        super().__init__(rank, n_threads, rng)
+        self._on_node = [t for t in self._others if same_node(rank, t)]
+        self._off_node = [t for t in self._others if not same_node(rank, t)]
+
+    def cycle(self) -> List[int]:
+        """On-node victims first, then off-node, each shuffled."""
+        return self._rng.shuffled(self._on_node) + \
+            self._rng.shuffled(self._off_node)
+
+    def one(self) -> int:
+        """Prefer an on-node victim half the time (if any exist)."""
+        if self._on_node and self._rng.uniform(0.0, 1.0) < 0.5:
+            return self._rng.choice(self._on_node)
+        return self._rng.choice(self._others)

@@ -1,0 +1,7 @@
+"""Termination-detection strategies for the work-stealing algorithms."""
+
+from repro.ws.termination.cancelable_barrier import CancelableBarrier
+from repro.ws.termination.streamlined import StreamlinedBarrier
+from repro.ws.termination.token import BLACK, WHITE, TokenState
+
+__all__ = ["CancelableBarrier", "StreamlinedBarrier", "TokenState", "WHITE", "BLACK"]

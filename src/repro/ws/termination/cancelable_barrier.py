@@ -1,0 +1,118 @@
+"""Cancelable-barrier termination detection (Sect. 3.1).
+
+The shared-memory algorithm's termination scheme: a thread that finds
+no stealable work enters a barrier and spins on cancellation /
+termination flags.  Any thread *releasing* work resets (cancels) the
+barrier -- a remote write that also wakes every waiter so they resume
+searching.  The last thread to enter sets the termination flag.
+
+The cost structure the paper criticizes is modelled explicitly:
+
+* enter/leave mutate the barrier count under a global lock homed at
+  rank 0 ("barrier operations are performed under lock, adding
+  significant remote locking costs"),
+* every release pays a remote write to the cancellation flag whether or
+  not anyone is waiting ("it delays a thread that might otherwise be
+  doing useful work"),
+* waiters spinning on the flags are woken serially through the flag's
+  home node (``home_occupancy`` stagger), modelling contention.
+
+Correctness invariant: a cancelled waiter decrements the count *before*
+resuming its search, so ``count == THREADS`` can only be observed when
+every thread is simultaneously idle with empty stacks -- at which point
+no work exists and termination is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.pgas.machine import Machine, UpcContext
+from repro.sim.engine import SimEvent, Timeout
+
+__all__ = ["CancelableBarrier"]
+
+CANCELLED = "cancelled"
+TERMINATED = "terminated"
+
+
+class CancelableBarrier:
+    """Shared barrier state, homed at rank 0."""
+
+    def __init__(self, machine: Machine, on_terminate=None) -> None:
+        self.machine = machine
+        self.net = machine.net
+        self.n_threads = machine.n_threads
+        self.lock = machine.global_lock("cbarrier.lock", home=0)
+        self.count = 0
+        self.terminated = False
+        self.cancels = 0
+        self._waiters: list[SimEvent] = []
+        #: Soundness oracle invoked by the terminating thread (the
+        #: algorithms pass their quiescence check here).
+        self.on_terminate = on_terminate
+
+    # -- worker side ---------------------------------------------------------
+
+    def reset(self, ctx: UpcContext) -> Generator:
+        """Cancel the barrier after releasing work (worker-side cost)."""
+        # One remote write to the cancellation flag at its home (rank 0).
+        cost = self.net.shared_ref(ctx.rank, 0)
+        if cost > 0:
+            yield Timeout(cost)
+        self.cancels += 1
+        if self._waiters:
+            stagger = self.net.home_occupancy
+            for i, ev in enumerate(self._waiters):
+                ev.succeed(CANCELLED, delay=i * stagger)
+            self._waiters.clear()
+        ctx.trace("cbarrier.cancel")
+
+    # -- idle side -------------------------------------------------------------
+
+    def enter_and_wait(self, ctx: UpcContext) -> Generator:
+        """Enter the barrier; returns True on termination, False if
+        cancelled (the caller should resume searching for work)."""
+        yield from ctx.lock(self.lock)
+        if self.terminated:
+            # Termination was declared while this thread was en route.
+            yield from ctx.unlock(self.lock)
+            return True
+        self.count += 1
+        last = self.count == self.n_threads
+        if last:
+            if self.on_terminate is not None:
+                self.on_terminate()
+            self.terminated = True
+            yield from ctx.unlock(self.lock)
+            for ev in self._waiters:
+                ev.succeed(TERMINATED, delay=0.0,
+                           stagger=self.net.home_occupancy)
+            self._waiters.clear()
+            ctx.trace("cbarrier.terminate")
+            return True
+        yield from ctx.unlock(self.lock)
+        # Registering after the unlock is race-free *in the simulation*:
+        # no yield separates the unlock's completion from the append, so
+        # no cancel/terminate can interleave.  A real implementation
+        # must register while still holding the lock.
+        ev = self.machine.sim.event(name=f"cbarrier.T{ctx.rank}")
+        self._waiters.append(ev)
+        outcome = yield ev
+        # Waking costs one remote read of the flag the thread spun on.
+        wake_cost = self.net.shared_ref(ctx.rank, 0)
+        if wake_cost > 0:
+            yield Timeout(wake_cost)
+        if outcome == TERMINATED:
+            return True
+        # Cancelled: leave the barrier (decrement under lock) BEFORE
+        # searching, so count==THREADS remains a sound termination proof.
+        yield from ctx.lock(self.lock)
+        self.count -= 1
+        became_terminated = self.terminated
+        yield from ctx.unlock(self.lock)
+        if became_terminated:
+            # Termination was declared while we queued for the lock; the
+            # system is empty, so searching again is pointless.
+            return True
+        return False

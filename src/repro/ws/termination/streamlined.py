@@ -1,0 +1,65 @@
+"""Streamlined termination detection (Sect. 3.3.1).
+
+Threads enter the barrier only when a full probe cycle shows *every*
+other thread out of work (``work_avail == -1``), so "the expensive
+barrier operations are performed, almost always, only once".  Threads
+inside the barrier keep probing -- but only one victim at a time, with
+backoff, "to avoid overwhelming the remaining working threads".  The
+last thread to enter launches a tree-based termination announcement.
+
+This class provides the counted barrier and the announcement; the
+in-barrier probe/steal loop lives in the algorithms (it needs their
+steal machinery).  The protocol rule that keeps ``count == THREADS``
+a sound termination proof: a barrier waiter *leaves* (decrements)
+before attempting a steal and re-enters on failure, so no thread is
+simultaneously counted as idle and holding in-flight work.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.pgas.collectives import broadcast_time
+from repro.pgas.machine import Machine, UpcContext
+from repro.sim.engine import Timeout
+
+__all__ = ["StreamlinedBarrier"]
+
+
+class StreamlinedBarrier:
+    """Counted barrier + tree announcement, homed at rank 0."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.net = machine.net
+        self.n_threads = machine.n_threads
+        self.lock = machine.global_lock("sbarrier.lock", home=0)
+        self.count = 0
+        self.terminated = False
+        self.announce_time: float = 0.0
+
+    def enter(self, ctx: UpcContext) -> Generator:
+        """Increment the barrier count; returns True if this thread is
+        the last one in (and should announce termination)."""
+        yield from ctx.lock(self.lock)
+        self.count += 1
+        last = self.count == self.n_threads
+        yield from ctx.unlock(self.lock)
+        ctx.trace("sbarrier.enter", f"count={self.count}")
+        return last
+
+    def leave(self, ctx: UpcContext) -> Generator:
+        """Decrement the count (thread saw a steal candidate)."""
+        yield from ctx.lock(self.lock)
+        self.count -= 1
+        yield from ctx.unlock(self.lock)
+        ctx.trace("sbarrier.leave", f"count={self.count}")
+
+    def announce(self, ctx: UpcContext) -> Generator:
+        """Tree-based termination announcement by the last thread."""
+        cost = broadcast_time(self.net, self.n_threads)
+        if cost > 0:
+            yield Timeout(cost)
+        self.terminated = True
+        self.announce_time = ctx.now
+        ctx.trace("sbarrier.announce")

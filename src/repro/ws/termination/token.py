@@ -1,0 +1,95 @@
+"""Dijkstra-style token-ring termination detection (Sect. 3.2, [9]).
+
+The classic Dijkstra-Feijen-van Gasteren scheme as used by the MPI
+work-stealing implementation:
+
+* Threads form a ring, all initially white.  A thread turns *black*
+  when it sends work to a lower-ranked thread (work moving "backwards"
+  past the token invalidates the current round).
+* Rank 0, when idle with no round in flight, launches a white token.
+  Each idle thread forwards the token -- blackening it if the thread
+  itself is black -- and then turns white.  A busy thread holds the
+  token until it goes idle.
+* If rank 0 receives the token while *busy*, the round is void (the
+  token is recorded black).  When rank 0 is idle and holds a white
+  token while itself white, no work exists anywhere: it broadcasts
+  termination.  Otherwise it whitens itself and launches a new round.
+
+This module is pure bookkeeping; the transport lives in the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TokenState", "WHITE", "BLACK"]
+
+WHITE = "white"
+BLACK = "black"
+
+
+@dataclass
+class TokenState:
+    """One thread's view of the termination-token protocol."""
+
+    rank: int
+    n_threads: int
+    #: This thread's colour.
+    colour: str = WHITE
+    #: Colour of the token this thread is holding, or None.
+    holding: Optional[str] = None
+    #: Rank 0 only: a token is circulating.
+    in_flight: bool = False
+    #: Rank 0 only: rounds launched (diagnostics).
+    rounds: int = 0
+
+    @property
+    def next_rank(self) -> int:
+        return (self.rank + 1) % self.n_threads
+
+    # -- protocol events -----------------------------------------------------
+
+    def on_sent_work(self, dst: int) -> None:
+        """Sending work to a lower rank blackens this thread."""
+        if dst < self.rank:
+            self.colour = BLACK
+
+    def on_token(self, token_colour: str) -> None:
+        """A token arrived; hold it until idle.
+
+        Callers at rank 0 must pass BLACK if they were busy at receipt
+        (a busy initiator voids the round).
+        """
+        assert self.holding is None, f"T{self.rank} already holds a token"
+        self.holding = token_colour
+        if self.rank == 0:
+            self.in_flight = False
+
+    def forward(self) -> str:
+        """Non-zero rank, idle: colour to pass on; thread turns white."""
+        assert self.rank != 0 and self.holding is not None
+        out = BLACK if self.colour == BLACK else self.holding
+        self.holding = None
+        self.colour = WHITE
+        return out
+
+    def launch(self) -> str:
+        """Rank 0, idle, no round in flight: start a white token."""
+        assert self.rank == 0 and self.holding is None and not self.in_flight
+        self.in_flight = True
+        self.rounds += 1
+        self.colour = WHITE
+        return WHITE
+
+    def round_succeeded(self) -> bool:
+        """Rank 0, idle, holding a returned token: did it prove
+        global quiescence?"""
+        assert self.rank == 0 and self.holding is not None
+        return self.holding == WHITE and self.colour == WHITE
+
+    def initiate(self) -> str:
+        """Rank 0: consume a failed round's token and launch a new one."""
+        assert self.rank == 0 and self.holding is not None
+        self.holding = None
+        return self.launch()

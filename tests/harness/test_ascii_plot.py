@@ -1,0 +1,80 @@
+"""Tests for the terminal chart/table renderers."""
+
+from repro.harness.ascii_plot import ascii_chart, series_table
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"a": []}) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart({"alpha": [(1, 1.0), (2, 2.0)],
+                           "beta": [(1, 2.0), (2, 1.0)]})
+        assert "o=alpha" in out
+        assert "x=beta" in out
+        assert "o" in out.splitlines()[2]  # marker plotted somewhere
+
+    def test_log_x_mode(self):
+        out = ascii_chart({"s": [(1, 1.0), (1024, 2.0)]}, log_x=True,
+                          x_label="k")
+        assert "[log2 x]" in out
+        assert "1024" in out
+
+    def test_title_and_labels(self):
+        out = ascii_chart({"s": [(1, 1.0)]}, title="my chart",
+                          x_label="threads", y_label="speedup")
+        assert "my chart" in out
+        assert "threads" in out
+        assert "speedup" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"s": [(5, 3.0)]})
+        assert "o" in out
+
+    def test_zero_values(self):
+        out = ascii_chart({"s": [(1, 0.0), (2, 0.0)]})
+        assert "o" in out
+
+
+class TestSeriesTable:
+    def test_formats_ints_floats_strings(self):
+        out = series_table(["name", "count", "rate"],
+                           [["abc", 1234, 5.678], ["d", 1, 0.5]])
+        assert "1,234" in out
+        assert "5.68" in out
+        assert "abc" in out
+
+    def test_alignment_consistent(self):
+        out = series_table(["a", "b"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_empty_rows(self):
+        out = series_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestLogHistogram:
+    def test_empty(self):
+        from repro.harness.ascii_plot import log_histogram
+        assert log_histogram([]) == "(no data)"
+        assert log_histogram([0.5]) == "(no data)"  # below 1 is dropped
+
+    def test_bins_and_counts(self):
+        from repro.harness.ascii_plot import log_histogram
+        out = log_histogram([1, 1, 2, 3, 4, 8, 9])
+        lines = out.splitlines()
+        # bins [1,2), [2,4), [4,8), [8,16)
+        assert len(lines) == 4
+        assert "2" in lines[0]  # two ones
+        assert lines[-1].count("#") > 0
+
+    def test_title(self):
+        from repro.harness.ascii_plot import log_histogram
+        assert log_histogram([1, 2], title="sizes:").startswith("sizes:")
+
+    def test_peak_bar_is_full_width(self):
+        from repro.harness.ascii_plot import log_histogram
+        out = log_histogram([1] * 100 + [16], width=30)
+        assert "#" * 30 in out

@@ -1,0 +1,147 @@
+"""Tests for the figure drivers at test scale."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import (
+    ablation,
+    figure4,
+    figure5,
+    figure6,
+    headline_claims,
+    sequential_baseline,
+    setup_for,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4(scale="test")
+
+
+class TestSetupLookup:
+    def test_all_figures_all_scales(self):
+        for fig in ("fig4", "fig5", "fig6"):
+            for scale in ("test", "quick", "full"):
+                s = setup_for(fig, scale)
+                assert s.figure == fig
+                assert s.scale == scale
+                assert s.algorithms
+
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigError):
+            setup_for("fig9", "test")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            setup_for("fig4", "huge")
+
+    def test_describe(self):
+        assert "fig4" in setup_for("fig4", "test").describe()
+
+
+class TestFigure4:
+    def test_covers_cross_product(self, fig4):
+        setup = fig4.sweep.setup
+        assert len(fig4.sweep.runs) == \
+            len(setup.algorithms) * len(setup.chunk_sizes)
+
+    def test_series_per_algorithm(self, fig4):
+        series = fig4.speedup_series()
+        assert set(series) == set(fig4.sweep.setup.algorithms)
+        for pts in series.values():
+            assert [x for x, _ in pts] == fig4.sweep.setup.chunk_sizes
+
+    def test_performance_series_in_mnodes(self, fig4):
+        perf = fig4.performance_series()
+        for pts in perf.values():
+            assert all(0 < y < 1e3 for _, y in pts)
+
+    def test_all_runs_conserve_nodes(self, fig4):
+        expected = fig4.sweep.expected_nodes
+        for r in fig4.sweep.runs:
+            assert r.total_nodes == expected
+
+    def test_render_contains_table_and_chart(self, fig4):
+        out = fig4.render()
+        assert "speedup" in out
+        assert "legend:" in out
+        assert "fig4" in out
+
+    def test_to_dict_roundtrippable(self, fig4):
+        d = fig4.to_dict()
+        assert d["figure"] == "fig4"
+        assert len(d["runs"]) == len(fig4.sweep.runs)
+        assert all("efficiency" in r for r in d["runs"])
+
+    def test_sweep_lookup_helpers(self, fig4):
+        setup = fig4.sweep.setup
+        r = fig4.sweep.get(setup.algorithms[0],
+                           chunk_size=setup.chunk_sizes[0])
+        assert r.algorithm == setup.algorithms[0]
+        best = fig4.sweep.best(setup.algorithms[0])
+        assert best.nodes_per_sec == max(
+            x.nodes_per_sec for x in fig4.sweep.series(setup.algorithms[0]))
+        with pytest.raises(KeyError):
+            fig4.sweep.get("upc-distmem", chunk_size=99999)
+        with pytest.raises(KeyError):
+            fig4.sweep.best("nonexistent")
+
+
+class TestFigure5And6:
+    def test_figure5_threads_axis(self):
+        fig = figure5(scale="test")
+        series = fig.speedup_series()
+        for pts in series.values():
+            assert [x for x, _ in pts] == fig.sweep.setup.thread_counts
+
+    def test_figure6_uses_altix(self):
+        fig = figure6(scale="test")
+        assert all(r.machine_name == "altix" for r in fig.sweep.runs)
+
+
+class TestAblationAndClaims:
+    def test_ablation_chain_complete(self):
+        ab = ablation(scale="test")
+        assert set(ab.best) == {"upc-sharedmem", "upc-term",
+                                "upc-term-rapdif", "upc-distmem"}
+        assert len(ab.improvements()) == 3
+        assert ab.total_improvement > 0
+        assert "total" in ab.render()
+
+    def test_claims_render(self):
+        claims = headline_claims(scale="test")
+        out = claims.render()
+        assert "parallel efficiency" in out
+        assert "85,000" in out
+
+    def test_sequential_baseline_table(self):
+        out = sequential_baseline()
+        assert "2.39" in out  # Kitty Hawk paper rate
+        assert "1.12" in out  # Altix paper rate
+
+
+class TestResultReuse:
+    def test_ablation_reuses_figure4_runs(self, fig4):
+        from repro.harness import ablation
+
+        ab = ablation(scale="test", from_figure4=fig4)
+        for alg, run in ab.best.items():
+            assert run is fig4.sweep.best(alg)  # same objects, no re-run
+
+    def test_ablation_ignores_mismatched_scale(self, fig4):
+        from repro.harness import ablation
+
+        # A different scale must not silently reuse the wrong sweep.
+        ab = ablation(scale="test", from_figure4=None)
+        assert set(ab.best) == {"upc-sharedmem", "upc-term",
+                                "upc-term-rapdif", "upc-distmem"}
+
+    def test_claims_reuse_figure5(self):
+        from repro.harness import figure5, headline_claims
+
+        fig5 = figure5(scale="test")
+        claims = headline_claims(scale="test", from_figure5=fig5)
+        top_threads = fig5.sweep.setup.thread_counts[-1]
+        assert claims.run is fig5.sweep.get("upc-distmem",
+                                            threads=top_threads)

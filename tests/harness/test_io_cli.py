@@ -1,0 +1,66 @@
+"""Tests for result persistence and the CLI."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness import figure4, load_json, save_csv, save_json
+from repro.harness.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4(scale="test")
+
+
+class TestIo:
+    def test_save_and_load_json(self, fig4, tmp_path):
+        path = save_json(fig4, tmp_path / "out" / "fig4.json")
+        data = load_json(path)
+        assert data["figure"] == "fig4"
+        assert len(data["runs"]) == len(fig4.sweep.runs)
+
+    def test_save_csv(self, fig4, tmp_path):
+        path = save_csv(fig4, tmp_path / "fig4.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(fig4.sweep.runs)
+        assert {"algorithm", "speedup", "efficiency"} <= set(rows[0])
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        p = build_parser()
+        args = p.parse_args(["fig4", "--scale", "test"])
+        assert args.command == "fig4"
+        assert args.scale == "test"
+
+    def test_run_subcommand(self, capsys):
+        rc = main(["run", "--algorithm", "upc-distmem", "--threads", "4",
+                   "--chunk-size", "2", "--b0", "30", "--q", "0.4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "upc-distmem" in out
+
+    def test_seq_subcommand(self, capsys):
+        assert main(["seq"]) == 0
+        assert "platform" in capsys.readouterr().out
+
+    def test_fig4_with_outputs(self, capsys, tmp_path):
+        rc = main(["fig4", "--scale", "test",
+                   "--json", str(tmp_path / "f.json"),
+                   "--csv", str(tmp_path / "f.csv")])
+        assert rc == 0
+        assert json.loads((tmp_path / "f.json").read_text())["figure"] == "fig4"
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_claims_subcommand(self, capsys):
+        assert main(["claims", "--scale", "test"]) == 0
+        assert "efficiency" in capsys.readouterr().out
+
+    def test_ablation_subcommand(self, capsys):
+        assert main(["ablation", "--scale", "test"]) == 0
+        assert "sharedmem -> distmem" in capsys.readouterr().out.replace(
+            "upc-", "")

@@ -1,0 +1,43 @@
+"""Tests for the markdown report generator (structure, not scale)."""
+
+import pytest
+
+from repro.harness.report_md import PAPER_TARGETS, generate_report
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report") / "report.md"
+    text = generate_report(scale="test", out=out)
+    return text, out
+
+
+def test_targets_defined():
+    assert len(PAPER_TARGETS) >= 8
+    assert all(c.claim and c.paper_ref for c in PAPER_TARGETS)
+
+
+def test_report_written_and_returned(report):
+    text, out = report
+    assert out.read_text() == text
+
+
+def test_report_contains_all_sections(report):
+    text, _ = report
+    for section in ("Paper-claim checklist", "Headline claims", "fig4",
+                    "fig5", "fig6", "Refinement ablation",
+                    "Sequential baseline"):
+        assert section in text
+
+
+def test_every_target_has_a_row(report):
+    text, _ = report
+    for check in PAPER_TARGETS:
+        assert check.claim in text
+
+
+def test_checklist_rows_have_verdicts(report):
+    text, _ = report
+    rows = [l for l in text.splitlines()
+            if l.startswith("|") and ("✅" in l or "❌" in l)]
+    assert len(rows) == len(PAPER_TARGETS)

@@ -1,0 +1,38 @@
+"""Tests for the validation grid harness."""
+
+import pytest
+
+from repro.harness import ValidationReport, validate_grid
+from repro.harness.cli import main
+
+
+def test_small_grid_passes():
+    report = validate_grid(seeds=[0], thread_counts=[1, 4],
+                           chunk_sizes=[2], presets=["kittyhawk"])
+    assert report.ok
+    # 6 algorithms x 2 thread counts x 1 chunk x 1 preset
+    assert report.runs == 12
+    assert "PASS" in report.render()
+
+
+def test_progress_callback_invoked():
+    seen = []
+    validate_grid(seeds=[0], thread_counts=[2], chunk_sizes=[2],
+                  presets=["altix"], algorithms=["upc-distmem"],
+                  progress=seen.append)
+    assert len(seen) == 1
+    assert "upc-distmem" in seen[0]
+
+
+def test_report_failure_rendering():
+    report = ValidationReport(runs=3, failures=["x: boom"], host_seconds=1.0)
+    assert not report.ok
+    out = report.render()
+    assert "FAIL" in out and "boom" in out
+
+
+def test_cli_validate_subcommand(capsys):
+    rc = main(["validate", "--seeds", "0", "--threads", "2",
+               "--chunk-sizes", "2", "--quiet"])
+    assert rc == 0
+    assert "PASS" in capsys.readouterr().out

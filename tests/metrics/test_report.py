@@ -1,0 +1,96 @@
+"""Tests for ThreadStats aggregation and RunResult metrics."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.metrics import RunResult, ThreadStats, aggregate
+from repro.metrics.states import SEARCHING, WORKING, StateTimer
+
+
+def make_stats(rank, nodes, steals=0, working=1.0, searching=0.0):
+    st = ThreadStats(rank=rank, timer=StateTimer(WORKING))
+    st.nodes_visited = nodes
+    st.steals_ok = steals
+    st.steal_attempts = steals
+    st.timer.enter(SEARCHING, working)
+    st.timer.finish(working + searching)
+    return st
+
+
+def test_aggregate_sums():
+    stats = [make_stats(0, 100, steals=2), make_stats(1, 50, steals=1)]
+    agg = aggregate(stats)
+    assert agg.nodes_visited == 150
+    assert agg.steals_ok == 3
+    assert agg.state_times["working"] == pytest.approx(2.0)
+
+
+def test_aggregate_working_fraction():
+    stats = [make_stats(0, 10, working=3.0, searching=1.0),
+             make_stats(1, 10, working=1.0, searching=3.0)]
+    agg = aggregate(stats)
+    assert agg.working_fraction == pytest.approx(0.5)
+
+
+def test_thread_stats_success_rate():
+    st = ThreadStats(rank=0)
+    assert st.steal_success_rate == 0.0
+    st.steal_attempts = 4
+    st.steals_ok = 3
+    assert st.steal_success_rate == pytest.approx(0.75)
+
+
+@pytest.fixture
+def result():
+    per_thread = [make_stats(r, 250, steals=5, working=0.8, searching=0.2)
+                  for r in range(4)]
+    return RunResult(
+        algorithm="upc-distmem",
+        n_threads=4,
+        chunk_size=8,
+        machine_name="kittyhawk",
+        tree_description="binomial(...)",
+        total_nodes=1000,
+        sim_time=0.5,
+        node_visit_time=1e-3,
+        per_thread=per_thread,
+    )
+
+
+class TestRunResult:
+    def test_t1(self, result):
+        assert result.t1 == pytest.approx(1.0)
+
+    def test_speedup_and_efficiency(self, result):
+        assert result.speedup == pytest.approx(2.0)
+        assert result.efficiency == pytest.approx(0.5)
+
+    def test_nodes_per_sec(self, result):
+        assert result.nodes_per_sec == pytest.approx(2000.0)
+
+    def test_steals_per_sec(self, result):
+        assert result.steals_per_sec == pytest.approx(40.0)
+
+    def test_working_fraction(self, result):
+        assert result.working_fraction == pytest.approx(0.8)
+
+    def test_verify_pass(self, result):
+        result.verify(1000)
+
+    def test_verify_mismatch_raises(self, result):
+        with pytest.raises(ProtocolError, match="lost/duplicated"):
+            result.verify(1001)
+
+    def test_summary_contains_key_fields(self, result):
+        s = result.summary()
+        assert "upc-distmem" in s
+        assert "T=4" in s
+        assert "k=8" in s
+
+    def test_zero_sim_time_degenerate(self):
+        r = RunResult(algorithm="x", n_threads=1, chunk_size=1,
+                      machine_name="m", tree_description="t",
+                      total_nodes=0, sim_time=0.0, node_visit_time=1e-6)
+        assert r.speedup == 0.0
+        assert r.nodes_per_sec == 0.0
+        assert r.steals_per_sec == 0.0

@@ -1,0 +1,76 @@
+"""Tests for the Figure-1 state machine accounting."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.metrics import BARRIER, SEARCHING, STEALING, WORKING, StateTimer
+
+
+def test_initial_state():
+    t = StateTimer(WORKING)
+    assert t.state == WORKING
+    assert t.transitions == 0
+
+
+def test_unknown_state_rejected():
+    with pytest.raises(ProtocolError):
+        StateTimer("sleeping")
+    t = StateTimer(WORKING)
+    with pytest.raises(ProtocolError):
+        t.enter("sleeping", 1.0)
+
+
+def test_accumulates_time_per_state():
+    t = StateTimer(WORKING, now=0.0)
+    t.enter(SEARCHING, 3.0)   # 3s working
+    t.enter(STEALING, 4.0)    # 1s searching
+    t.enter(WORKING, 4.5)     # 0.5s stealing
+    t.finish(10.0)            # 5.5s working
+    assert t.times[WORKING] == pytest.approx(8.5)
+    assert t.times[SEARCHING] == pytest.approx(1.0)
+    assert t.times[STEALING] == pytest.approx(0.5)
+    assert t.times[BARRIER] == 0.0
+    assert t.total() == pytest.approx(10.0)
+    assert t.transitions == 3
+
+
+def test_reentering_same_state_not_a_transition():
+    t = StateTimer(WORKING)
+    t.enter(WORKING, 1.0)
+    assert t.transitions == 0
+    assert t.times[WORKING] == pytest.approx(1.0)
+
+
+def test_time_going_backwards_rejected():
+    t = StateTimer(WORKING)
+    t.enter(SEARCHING, 5.0)
+    with pytest.raises(ProtocolError):
+        t.enter(WORKING, 4.0)
+
+
+def test_enter_after_finish_rejected():
+    t = StateTimer(WORKING)
+    t.finish(1.0)
+    with pytest.raises(ProtocolError):
+        t.enter(SEARCHING, 2.0)
+
+
+def test_finish_idempotent():
+    t = StateTimer(WORKING)
+    t.finish(2.0)
+    t.finish(2.0)
+    assert t.total() == pytest.approx(2.0)
+
+
+def test_fraction():
+    t = StateTimer(WORKING)
+    t.enter(SEARCHING, 8.0)
+    t.finish(10.0)
+    assert t.fraction(WORKING) == pytest.approx(0.8)
+    assert t.fraction(SEARCHING) == pytest.approx(0.2)
+
+
+def test_fraction_zero_total():
+    t = StateTimer(WORKING)
+    t.finish(0.0)
+    assert t.fraction(WORKING) == 0.0

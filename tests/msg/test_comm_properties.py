@@ -1,0 +1,71 @@
+"""Property-based tests for the message layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msg import MsgWorld
+from repro.net import NetworkModel
+from repro.pgas import Machine
+
+
+@given(st.lists(st.tuples(st.integers(0, 3),          # src
+                          st.integers(0, 3),          # dst
+                          st.integers(0, 1000)),      # payload
+                min_size=1, max_size=30),
+       st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_no_message_lost_or_duplicated(sends, latency):
+    """Every sent message is received exactly once, whatever the
+    traffic pattern."""
+    sends = [(s, d, p) for s, d, p in sends if s != d]
+    net = NetworkModel(cores_per_node=1, msg_latency=latency,
+                       msg_injection=0.01)
+    machine = Machine(threads=4, net=net)
+    world = MsgWorld(machine)
+    eps = [world.endpoint(c) for c in machine.contexts]
+    received = []
+
+    by_src = {r: [(d, p) for s, d, p in sends if s == r] for r in range(4)}
+    expect_by_dst = {r: sum(1 for _, d, _ in sends if d == r)
+                     for r in range(4)}
+
+    def sender(ctx):
+        for dst, payload in by_src[ctx.rank]:
+            yield from eps[ctx.rank].send(dst, "M", payload=payload, nbytes=8)
+
+    def receiver(ctx):
+        for _ in range(expect_by_dst[ctx.rank]):
+            msg = yield from eps[ctx.rank].recv(tags=["M"])
+            received.append((msg.src, msg.dst, msg.payload))
+
+    for r in range(4):
+        machine.sim.spawn(sender(machine.contexts[r]))
+        machine.sim.spawn(receiver(machine.contexts[r]))
+    machine.run()
+    assert sorted(received) == sorted((s, d, p) for s, d, p in sends)
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_same_pair_messages_arrive_in_send_order(n_msgs):
+    """FIFO per (src, dst) pair with uniform sizes."""
+    net = NetworkModel(cores_per_node=1, msg_latency=1.0, msg_injection=0.05)
+    machine = Machine(threads=2, net=net)
+    world = MsgWorld(machine)
+    ep0 = world.endpoint(machine.contexts[0])
+    ep1 = world.endpoint(machine.contexts[1])
+    order = []
+
+    def sender(ctx):
+        for i in range(n_msgs):
+            yield from ep0.send(1, "M", payload=i, nbytes=8)
+
+    def receiver(ctx):
+        for _ in range(n_msgs):
+            msg = yield from ep1.recv()
+            order.append(msg.payload)
+
+    machine.sim.spawn(sender(machine.contexts[0]))
+    machine.sim.spawn(receiver(machine.contexts[1]))
+    machine.run()
+    assert order == list(range(n_msgs))

@@ -1,0 +1,64 @@
+"""Race-condition validation: the distmem protocol on real threads.
+
+The simulator is deterministic; these tests run the same protocol with
+genuine OS-thread preemption and assert the conservation invariant.
+"""
+
+import pytest
+
+from repro import TreeParams, expected_node_count
+from repro.errors import ProtocolError
+from repro.native import NativeResult, native_distmem_search
+
+TREE = TreeParams.binomial(b0=60, m=2, q=0.48, seed=5)
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4, 8])
+def test_conservation_on_real_threads(threads):
+    expected = expected_node_count(TREE)
+    res = native_distmem_search(TREE, threads=threads, chunk_size=4)
+    res.verify(expected)
+
+
+@pytest.mark.parametrize("k", [1, 2, 8])
+def test_conservation_across_chunk_sizes(k):
+    expected = expected_node_count(TREE)
+    res = native_distmem_search(TREE, threads=4, chunk_size=k)
+    res.verify(expected)
+
+
+def test_repeated_runs_race_hunting():
+    """Ten runs with different schedules; every one must be exact."""
+    expected = expected_node_count(TREE)
+    for seed in range(10):
+        res = native_distmem_search(TREE, threads=6, chunk_size=2, seed=seed)
+        res.verify(expected)
+
+
+def test_work_distributes_across_real_threads():
+    """With frequent preemption, other threads must steal some work."""
+    import sys
+
+    big = TreeParams.binomial(b0=300, m=2, q=0.49, seed=0)
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    try:
+        res = native_distmem_search(big, threads=8, chunk_size=2)
+    finally:
+        sys.setswitchinterval(old)
+    res.verify(expected_node_count(big))
+    assert sum(1 for n in res.per_thread_nodes if n > 0) >= 2
+    assert res.steals_ok > 0
+
+
+def test_verify_raises_on_mismatch():
+    res = NativeResult(total_nodes=10, per_thread_nodes=[10],
+                       steals_ok=0, requests_denied=0)
+    with pytest.raises(ProtocolError):
+        res.verify(11)
+
+
+def test_single_node_tree():
+    tree = TreeParams.binomial(b0=0, q=0.3, seed=0)
+    res = native_distmem_search(tree, threads=4, chunk_size=2)
+    res.verify(1)

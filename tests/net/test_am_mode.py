@@ -1,0 +1,60 @@
+"""Tests for the AM-emulation (no-hardware-RDMA) mode of Sect. 6.1."""
+
+import pytest
+
+from repro import KITTYHAWK, TreeParams, run_experiment
+from repro.net import NetworkModel
+
+
+def test_am_mode_penalizes_offnode_ops_only():
+    base = NetworkModel(cores_per_node=4)
+    am = base.with_overrides(am_mode=True, am_service_overhead=10e-6)
+    # Off-node: penalty applies.
+    assert am.shared_ref(0, 4) == pytest.approx(base.shared_ref(0, 4) + 10e-6)
+    assert am.one_sided(0, 4, 100) == pytest.approx(
+        base.one_sided(0, 4, 100) + 10e-6)
+    # On-node and self: unchanged (the node's own memory system).
+    assert am.shared_ref(0, 1) == base.shared_ref(0, 1)
+    assert am.shared_ref(2, 2) == 0.0
+    assert am.one_sided(0, 1, 100) == base.one_sided(0, 1, 100)
+    # Two-sided messages already pay their own matching costs.
+    assert am.message(0, 4, 100) == base.message(0, 4, 100)
+
+
+def test_am_mode_slows_upc_but_not_conservation():
+    """Performance portability (Sect. 6.1): the same UPC program is
+    slower on an AM runtime than on hardware one-sided support -- while
+    staying correct."""
+    tree = TreeParams.binomial(b0=200, m=2, q=0.49, seed=1)
+    hw = run_experiment("upc-distmem", tree=tree, threads=12,
+                        preset="kittyhawk", chunk_size=4, verify=True)
+    am_net = KITTYHAWK.with_overrides(am_mode=True)
+    am = run_experiment("upc-distmem", tree=tree, threads=12,
+                        net=am_net, chunk_size=4, verify=True)
+    assert am.sim_time > hw.sim_time
+    assert am.total_nodes == hw.total_nodes
+
+
+def test_am_mode_narrows_upc_advantage_over_mpi():
+    """With AM-emulated one-sided ops, UPC's edge over MPI shrinks --
+    the reason the paper needed runtimes 'built directly upon
+    Infiniband network driver APIs'."""
+    tree = TreeParams.binomial(b0=200, m=2, q=0.49, seed=1)
+    am_net = KITTYHAWK.with_overrides(am_mode=True, am_service_overhead=15e-6)
+    kw = dict(tree=tree, threads=12, chunk_size=4, verify=True)
+
+    hw_upc = run_experiment("upc-distmem", preset="kittyhawk", **kw)
+    hw_mpi = run_experiment("mpi-ws", preset="kittyhawk", **kw)
+    am_upc = run_experiment("upc-distmem", net=am_net, **kw)
+    am_mpi = run_experiment("mpi-ws", net=am_net, **kw)
+
+    hw_ratio = hw_upc.nodes_per_sec / hw_mpi.nodes_per_sec
+    am_ratio = am_upc.nodes_per_sec / am_mpi.nodes_per_sec
+    assert am_ratio < hw_ratio
+
+
+def test_negative_am_overhead_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        NetworkModel(am_service_overhead=-1e-6)

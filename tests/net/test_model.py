@@ -1,0 +1,113 @@
+"""Tests for the network cost model and platform presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import (
+    ALTIX,
+    KITTYHAWK,
+    NODE_DESC_BYTES,
+    PRESETS,
+    SHAREDMEM,
+    TOPSAIL,
+    NetworkModel,
+    get_preset,
+)
+
+
+@pytest.fixture
+def model():
+    return NetworkModel(cores_per_node=4)
+
+
+class TestTopology:
+    def test_node_of(self, model):
+        assert model.node_of(0) == 0
+        assert model.node_of(3) == 0
+        assert model.node_of(4) == 1
+        assert model.node_of(11) == 2
+
+    def test_same_node(self, model):
+        assert model.same_node(0, 3)
+        assert not model.same_node(3, 4)
+        assert model.same_node(5, 5)
+
+
+class TestCosts:
+    def test_self_access_is_free(self, model):
+        assert model.shared_ref(2, 2) == 0.0
+        assert model.one_sided(2, 2, 10**6) == 0.0
+        assert model.message(2, 2, 10**6) == 0.0
+
+    def test_onnode_cheaper_than_offnode(self, model):
+        assert model.shared_ref(0, 1) < model.shared_ref(0, 4)
+        assert model.one_sided(0, 1, 1024) < model.one_sided(0, 4, 1024)
+
+    def test_one_sided_scales_with_bytes(self, model):
+        small = model.one_sided(0, 4, 64)
+        large = model.one_sided(0, 4, 64 * 1024)
+        assert large > small
+        assert large - small == pytest.approx((64 * 1024 - 64) / model.rdma_bandwidth)
+
+    def test_lock_costs_order_of_magnitude_above_shared_ref(self, model):
+        # Sect 3.3.3: remote locking ~10x a shared variable reference.
+        ref = model.shared_ref(0, 4)
+        lock = model.lock_cost(0, 4)
+        assert lock >= 2 * ref
+
+    def test_lock_at_home_is_cheap_but_not_free(self, model):
+        assert 0 < model.lock_cost(3, 3) < model.lock_cost(0, 4)
+
+    def test_chunk_transfer_uses_node_desc_bytes(self, model):
+        assert model.chunk_transfer(0, 4, 10) == pytest.approx(
+            model.one_sided(0, 4, 10 * NODE_DESC_BYTES)
+        )
+
+    def test_sequential_rate_inverse_of_visit_time(self, model):
+        assert model.sequential_rate() == pytest.approx(1.0 / model.node_visit_time)
+
+
+class TestValidation:
+    def test_bad_cores_per_node(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(cores_per_node=0)
+
+    def test_negative_latency(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(rdma_latency=-1e-6)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(rdma_bandwidth=0)
+
+
+class TestPresets:
+    def test_sequential_rates_match_paper(self):
+        # Sect. 4.1: 2.10 (Topsail), 2.39 (Kitty Hawk), 1.12 (Altix) Mnodes/s.
+        assert TOPSAIL.sequential_rate() == pytest.approx(2.10e6)
+        assert KITTYHAWK.sequential_rate() == pytest.approx(2.39e6)
+        assert ALTIX.sequential_rate() == pytest.approx(1.12e6)
+
+    def test_cluster_presets_have_multicore_nodes(self):
+        assert KITTYHAWK.cores_per_node == 4  # 2x dual-core E5150
+        assert TOPSAIL.cores_per_node == 8    # 2x quad-core E5345
+
+    def test_altix_remote_ref_much_cheaper_than_cluster(self):
+        assert ALTIX.remote_shared_ref < KITTYHAWK.remote_shared_ref / 5
+
+    def test_sharedmem_everything_on_one_node(self):
+        assert SHAREDMEM.same_node(0, 10**6)
+
+    def test_get_preset_roundtrip(self):
+        for name in PRESETS:
+            assert get_preset(name).name == name
+        assert get_preset("TOPSAIL") is TOPSAIL
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(ConfigError):
+            get_preset("bluegene")
+
+    def test_with_overrides_for_ablation(self):
+        slow = KITTYHAWK.with_overrides(rdma_latency=50e-6)
+        assert slow.rdma_latency == 50e-6
+        assert slow.cores_per_node == KITTYHAWK.cores_per_node

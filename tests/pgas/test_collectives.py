@@ -1,0 +1,30 @@
+"""Tests for collective cost helpers."""
+
+import pytest
+
+from repro.net import NetworkModel
+from repro.pgas import broadcast_time, reduction_time, tree_depth
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(remote_shared_ref=2.0)
+
+
+def test_tree_depth():
+    assert tree_depth(1) == 1
+    assert tree_depth(2) == 1
+    assert tree_depth(4) == 2
+    assert tree_depth(5) == 3
+    assert tree_depth(1024) == 10
+
+
+def test_reduction_time_scales_logarithmically(net):
+    assert reduction_time(net, 1) == 0.0
+    assert reduction_time(net, 1024) == pytest.approx(20.0)
+    assert reduction_time(net, 1024) == reduction_time(net, 513)
+
+
+def test_broadcast_matches_reduction_shape(net):
+    assert broadcast_time(net, 64) == reduction_time(net, 64)
+    assert broadcast_time(net, 1) == 0.0

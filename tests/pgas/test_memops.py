@@ -1,0 +1,84 @@
+"""Coverage for memput / wait / compute edge cases."""
+
+import pytest
+
+from repro.net import NetworkModel
+from repro.pgas import Machine
+
+
+@pytest.fixture
+def machine():
+    net = NetworkModel(cores_per_node=2, rdma_latency=2.0,
+                       rdma_bandwidth=100.0, onnode_latency=0.5,
+                       onnode_bandwidth=1000.0)
+    return Machine(threads=4, net=net)
+
+
+def test_memput_offnode_cost(machine):
+    times = {}
+
+    def putter(ctx):
+        yield from ctx.memput(2, 100)  # rank 0 -> rank 2: off node
+        times["t"] = ctx.now
+
+    machine.sim.spawn(putter(machine.contexts[0]))
+    machine.run()
+    assert times["t"] == pytest.approx(2.0 + 100 / 100.0)
+
+
+def test_memput_onnode_cheaper(machine):
+    times = {}
+
+    def putter(ctx):
+        yield from ctx.memput(1, 100)  # same node
+        times["on"] = ctx.now
+        yield from ctx.memput(2, 100)  # off node
+        times["off"] = ctx.now - times["on"]
+
+    machine.sim.spawn(putter(machine.contexts[0]))
+    machine.run()
+    assert times["on"] < times["off"]
+
+
+def test_memget_self_free(machine):
+    def getter(ctx):
+        yield from ctx.memget(0, 10**9)
+        assert ctx.now == 0.0
+
+    machine.sim.spawn(getter(machine.contexts[0]))
+    machine.run()
+
+
+def test_compute_zero_is_free_and_eventless(machine):
+    before = machine.sim.events_processed
+
+    def proc(ctx):
+        yield from ctx.compute(0.0)
+        yield from ctx.compute(0.0)
+
+    machine.sim.spawn(proc(machine.contexts[0]))
+    machine.run()
+    # Only the spawn event itself; zero-compute adds no heap traffic.
+    assert machine.sim.events_processed == before + 1
+
+
+def test_ctx_wait_returns_event_value(machine):
+    ev = machine.sim.event("data")
+    got = {}
+
+    def waiter(ctx):
+        value = yield from ctx.wait(ev)
+        got["value"] = value
+
+    def firer(ctx):
+        yield from ctx.compute(3.0)
+        ev.succeed("payload")
+
+    machine.sim.spawn(waiter(machine.contexts[0]))
+    machine.sim.spawn(firer(machine.contexts[1]))
+    machine.run()
+    assert got["value"] == "payload"
+
+
+def test_threads_property(machine):
+    assert machine.contexts[0].threads == 4

@@ -1,0 +1,238 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, EventLimitExceeded, SimulationError
+from repro.sim import SimEvent, Simulator, Timeout
+
+
+def test_timeout_ordering():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        yield Timeout(delay)
+        log.append((sim.now, name))
+
+    sim.spawn(proc("b", 2.0))
+    sim.spawn(proc("a", 1.0))
+    sim.run()
+    assert log == [(1.0, "a"), (2.0, "b")]
+
+
+def test_simultaneous_events_fifo_by_spawn_order():
+    sim = Simulator()
+    log = []
+
+    def proc(name):
+        yield Timeout(1.0)
+        log.append(name)
+
+    for name in "abcd":
+        sim.spawn(proc(name))
+    sim.run()
+    assert log == list("abcd")
+
+
+def test_zero_delay_timeout_advances_nothing():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        yield Timeout(0.0)
+        times.append(sim.now)
+        yield Timeout(0.0)
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [0.0, 0.0]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_event_wakes_all_waiters():
+    sim = Simulator()
+    ev = sim.event("go")
+    woken = []
+
+    def waiter(i):
+        value = yield ev
+        woken.append((i, value, sim.now))
+
+    def firer():
+        yield Timeout(5.0)
+        ev.succeed("val")
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.spawn(firer())
+    sim.run()
+    assert woken == [(0, "val", 5.0), (1, "val", 5.0), (2, "val", 5.0)]
+
+
+def test_event_stagger_serializes_wakeups():
+    sim = Simulator()
+    ev = sim.event("go")
+    times = []
+
+    def waiter():
+        yield ev
+        times.append(sim.now)
+
+    def firer():
+        yield Timeout(1.0)
+        ev.succeed(stagger=0.5)
+
+    for _ in range(3):
+        sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert times == [1.0, 1.5, 2.0]
+
+
+def test_event_fired_twice_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_late_waiter_on_fired_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    log = []
+
+    def early():
+        yield Timeout(1.0)
+        ev.succeed(42)
+
+    def late():
+        yield Timeout(3.0)
+        v = yield ev
+        log.append((sim.now, v))
+
+    sim.spawn(early())
+    sim.spawn(late())
+    sim.run()
+    assert log == [(3.0, 42)]
+
+
+def test_process_done_event_carries_return_value():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield Timeout(2.0)
+        return "answer"
+
+    def joiner(proc):
+        v = yield proc.done
+        results.append((sim.now, v))
+
+    p = sim.spawn(worker())
+    sim.spawn(joiner(p))
+    sim.run()
+    assert results == [(2.0, "answer")]
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Timeout(1.0)
+        log.append(sim.now)
+        yield Timeout(9.0)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    t = sim.run(until=5.0)
+    assert t == 5.0
+    assert log == [1.0]
+    sim.run()
+    assert log == [1.0, 10.0]
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not an awaitable"
+
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_event_limit_enforced():
+    sim = Simulator(max_events=10)
+
+    def spinner():
+        while True:
+            yield Timeout(1.0)
+
+    sim.spawn(spinner())
+    with pytest.raises(EventLimitExceeded):
+        sim.run()
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def stuck():
+        yield ev
+
+    sim.spawn(stuck())
+    sim.run()
+    with pytest.raises(DeadlockError):
+        sim.check_quiescent()
+
+
+def test_spawn_with_delay():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.now)
+        yield Timeout(0.0)
+
+    sim.spawn(proc(), delay=7.0)
+    sim.run()
+    assert log == [7.0]
+
+
+def test_run_all_convenience():
+    sim = Simulator()
+    counter = []
+
+    def proc(i):
+        yield Timeout(float(i))
+        counter.append(i)
+
+    t = sim.run_all(proc(i) for i in range(5))
+    assert t == 4.0
+    assert counter == [0, 1, 2, 3, 4]
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def proc(i):
+            for rep in range(3):
+                yield Timeout(0.5 * (i + 1))
+                log.append((sim.now, i, rep))
+
+        for i in range(4):
+            sim.spawn(proc(i))
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,110 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimEvent, Simulator, Timeout
+
+
+@st.composite
+def process_specs(draw):
+    """A list of processes, each a list of (delay, signal?) steps."""
+    n_procs = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for _ in range(n_procs):
+        steps = draw(st.lists(
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0, max_size=8))
+        specs.append(steps)
+    return specs
+
+
+@given(process_specs())
+@settings(max_examples=100, deadline=None)
+def test_time_is_monotone_and_total_is_max_sum(specs):
+    """The clock never goes backwards; final time is the slowest chain."""
+    sim = Simulator()
+    observed = []
+
+    def proc(steps):
+        for d in steps:
+            yield Timeout(d)
+            observed.append(sim.now)
+
+    for steps in specs:
+        sim.spawn(proc(steps))
+    final = sim.run()
+    assert observed == sorted(observed)
+    assert final == max((sum(s) for s in specs), default=0.0)
+
+
+@given(process_specs())
+@settings(max_examples=50, deadline=None)
+def test_replay_is_bit_identical(specs):
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def proc(i, steps):
+            for d in steps:
+                yield Timeout(d)
+                log.append((sim.now, i))
+
+        for i, steps in enumerate(specs):
+            sim.spawn(proc(i, steps))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_event_fanout_wakes_exactly_all_waiters(n_waiters, fire_at):
+    sim = Simulator()
+    ev = sim.event("go")
+    woken = []
+
+    def waiter(i):
+        v = yield ev
+        woken.append((i, sim.now))
+
+    def firer():
+        yield Timeout(fire_at)
+        ev.succeed("x")
+
+    for i in range(n_waiters):
+        sim.spawn(waiter(i))
+    sim.spawn(firer())
+    sim.run()
+    assert len(woken) == n_waiters
+    assert all(t == fire_at for _, t in woken)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+                min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_fifo_lock_serializes_any_schedule(holds):
+    """Critical sections never overlap regardless of arrival pattern."""
+    from repro.sim import FifoLock
+
+    sim = Simulator()
+    lock = FifoLock(sim, "l")
+    sections = []
+
+    def proc(i, hold):
+        yield Timeout(i * 0.1)  # staggered arrivals
+        yield lock.acquire()
+        start = sim.now
+        yield Timeout(hold)
+        sections.append((start, sim.now))
+        lock.release()
+
+    for i, h in enumerate(holds):
+        sim.spawn(proc(i, h))
+    sim.run()
+    sections.sort()
+    for (s1, e1), (s2, e2) in zip(sections, sections[1:]):
+        assert e1 <= s2 + 1e-12, "critical sections overlapped"

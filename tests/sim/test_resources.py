@@ -1,0 +1,158 @@
+"""Unit tests for FifoLock and Gate."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FifoLock, Gate, Simulator, Timeout
+
+
+def test_lock_mutual_exclusion_and_fifo_order():
+    sim = Simulator()
+    lock = FifoLock(sim, "l")
+    log = []
+
+    def proc(name, hold):
+        yield lock.acquire()
+        log.append(("in", name, sim.now))
+        yield Timeout(hold)
+        log.append(("out", name, sim.now))
+        lock.release()
+
+    sim.spawn(proc("a", 2.0))
+    sim.spawn(proc("b", 1.0))
+    sim.spawn(proc("c", 1.0))
+    sim.run()
+    assert log == [
+        ("in", "a", 0.0), ("out", "a", 2.0),
+        ("in", "b", 2.0), ("out", "b", 3.0),
+        ("in", "c", 3.0), ("out", "c", 4.0),
+    ]
+
+
+def test_lock_try_acquire():
+    sim = Simulator()
+    lock = FifoLock(sim, "l")
+    assert lock.try_acquire()
+    assert not lock.try_acquire()
+    lock.release()
+    assert lock.try_acquire()
+
+
+def test_release_unlocked_raises():
+    sim = Simulator()
+    lock = FifoLock(sim, "l")
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_lock_statistics():
+    sim = Simulator()
+    lock = FifoLock(sim, "l")
+
+    def proc(hold):
+        yield lock.acquire()
+        yield Timeout(hold)
+        lock.release()
+
+    sim.spawn(proc(1.0))
+    sim.spawn(proc(2.0))
+    sim.run()
+    assert lock.acquisitions == 2
+    assert lock.contended_acquisitions == 1
+    assert lock.busy_time == pytest.approx(3.0)
+
+
+def test_gate_blocks_until_open():
+    sim = Simulator()
+    gate = Gate(sim, "g")
+    log = []
+
+    def waiter(i):
+        v = yield gate.wait()
+        log.append((i, v, sim.now))
+
+    def opener():
+        yield Timeout(4.0)
+        gate.open("go")
+
+    sim.spawn(waiter(0))
+    sim.spawn(waiter(1))
+    sim.spawn(opener())
+    sim.run()
+    assert log == [(0, "go", 4.0), (1, "go", 4.0)]
+
+
+def test_gate_passthrough_when_open():
+    sim = Simulator()
+    gate = Gate(sim, "g")
+    gate.open()
+    log = []
+
+    def waiter():
+        yield gate.wait()
+        log.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_gate_reset_reblocks():
+    sim = Simulator()
+    gate = Gate(sim, "g")
+    log = []
+
+    def cycle_waiter():
+        yield gate.wait()
+        log.append(("first", sim.now))
+        gate.reset()
+        yield gate.wait()
+        log.append(("second", sim.now))
+
+    def opener():
+        yield Timeout(1.0)
+        gate.open()
+        yield Timeout(2.0)
+        gate.open()
+
+    sim.spawn(cycle_waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert log == [("first", 1.0), ("second", 3.0)]
+
+
+def test_gate_open_returns_waiter_count():
+    sim = Simulator()
+    gate = Gate(sim, "g")
+
+    def waiter():
+        yield gate.wait()
+
+    def opener():
+        yield Timeout(1.0)
+        assert gate.open() == 3
+
+    for _ in range(3):
+        sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+
+
+def test_gate_stagger_charges_contention():
+    sim = Simulator()
+    gate = Gate(sim, "g")
+    times = []
+
+    def waiter():
+        yield gate.wait()
+        times.append(sim.now)
+
+    def opener():
+        yield Timeout(1.0)
+        gate.open(stagger=0.25)
+
+    for _ in range(4):
+        sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert times == [1.0, 1.25, 1.5, 1.75]

@@ -1,0 +1,32 @@
+"""Tests for deterministic named random streams."""
+
+from repro.sim import StreamRng, substream_seed
+
+
+def test_substream_seed_deterministic():
+    assert substream_seed(1, "a", 2) == substream_seed(1, "a", 2)
+
+
+def test_substream_seed_distinguishes_names():
+    assert substream_seed(1, "a") != substream_seed(1, "b")
+    assert substream_seed(1, "a", 1) != substream_seed(1, "a", 2)
+    assert substream_seed(1, "a") != substream_seed(2, "a")
+
+
+def test_stream_shuffled_is_permutation_and_stable():
+    r1 = StreamRng(7, "thread", 3)
+    r2 = StreamRng(7, "thread", 3)
+    items = list(range(20))
+    s1 = r1.shuffled(items)
+    s2 = r2.shuffled(items)
+    assert s1 == s2
+    assert sorted(s1) == items
+    assert items == list(range(20))  # input untouched
+
+
+def test_streams_with_different_names_diverge():
+    a = StreamRng(7, "thread", 0)
+    b = StreamRng(7, "thread", 1)
+    seq_a = [a.randrange(1000) for _ in range(10)]
+    seq_b = [b.randrange(1000) for _ in range(10)]
+    assert seq_a != seq_b

@@ -1,0 +1,34 @@
+"""Tests for the structured tracer."""
+
+from repro.sim import NULL_TRACER, TraceRecord, Tracer
+
+
+def test_null_tracer_records_nothing():
+    NULL_TRACER.emit(1.0, 0, "x")
+    assert NULL_TRACER.records == []
+
+
+def test_emit_and_filter():
+    t = Tracer()
+    t.emit(0.5, 1, "steal", "from=T2")
+    t.emit(0.7, 2, "release")
+    t.emit(0.9, 1, "steal", "from=T3")
+    assert t.count("steal") == 2
+    assert t.count("release") == 1
+    assert [r.detail for r in t.of_kind("steal")] == ["from=T2", "from=T3"]
+
+
+def test_record_str_format():
+    r = TraceRecord(time=1.5e-6, thread=3, kind="steal", detail="x")
+    s = str(r)
+    assert "T3" in s
+    assert "steal" in s
+    assert "us]" in s
+
+
+def test_dump_with_limit():
+    t = Tracer()
+    for i in range(10):
+        t.emit(float(i), 0, "k")
+    assert len(t.dump(limit=3).splitlines()) == 3
+    assert len(t.dump().splitlines()) == 10

@@ -1,0 +1,55 @@
+"""Tests for the DFS stack-depth (parallel frontier) profile."""
+
+import pytest
+
+from repro import TreeParams, count_tree
+from repro.uts.stats import stack_depth_profile
+
+
+def test_profile_counts_match_tree():
+    p = TreeParams.binomial(b0=50, m=2, q=0.45, seed=1)
+    prof = stack_depth_profile(p)
+    assert prof.n_nodes == count_tree(p).n_nodes
+
+
+def test_samples_bounded_and_positive():
+    p = TreeParams.binomial(b0=50, m=2, q=0.45, seed=1)
+    prof = stack_depth_profile(p, n_samples=20)
+    assert 1 <= len(prof.samples) <= 20
+    assert all(1 <= s <= prof.max_depth_seen for s in prof.samples)
+    assert prof.mean_depth <= prof.max_depth_seen
+
+
+def test_sqrt_scaling_near_criticality():
+    """The frontier's sqrt(n) law: normalized mean depth is roughly
+    size-independent near q=1/2, so doubling the tree does not double
+    the frontier."""
+    small = stack_depth_profile(TreeParams.binomial(b0=200, m=2, q=0.49,
+                                                    seed=0))
+    large = stack_depth_profile(TreeParams.binomial(b0=800, m=2, q=0.49,
+                                                    seed=0))
+    assert large.n_nodes > 2 * small.n_nodes
+    ratio = large.normalized_mean / small.normalized_mean
+    assert 0.4 < ratio < 2.5  # same order; far from linear scaling
+    assert large.mean_depth < large.n_nodes / 10
+
+
+def test_deeper_frontier_closer_to_critical():
+    """At fixed (small) b0, moving q toward 1/2 grows the frontier.
+
+    b0 must be small here: a large root fan-out parks b0 children on
+    the stack for most of the search and dominates the mean.
+    """
+    shallow = stack_depth_profile(TreeParams.binomial(b0=10, m=2, q=0.30,
+                                                      seed=0))
+    deep = stack_depth_profile(TreeParams.binomial(b0=10, m=2, q=0.495,
+                                                   seed=0))
+    assert deep.mean_depth > 1.5 * shallow.mean_depth
+    assert deep.max_depth_seen > shallow.max_depth_seen
+
+
+def test_single_node_tree_profile():
+    p = TreeParams.binomial(b0=0, q=0.3, seed=0)
+    prof = stack_depth_profile(p)
+    assert prof.n_nodes == 1
+    assert prof.mean_depth == 1.0

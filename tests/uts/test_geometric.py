@@ -1,0 +1,72 @@
+"""Tests for the UTS geometric shape functions."""
+
+import pytest
+
+from repro import TreeParams, count_tree, run_experiment
+from repro.errors import ConfigError
+from repro.uts.tree import Tree
+
+SHAPES = ["linear", "expdec", "cyclic", "fixed"]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_valid_tree_per_shape(shape):
+    p = TreeParams.geometric(b0=3, gen_mx=5, seed=1, geo_shape=shape)
+    stats = count_tree(p, max_nodes=500_000)
+    assert stats.n_nodes >= 1
+
+
+def test_unknown_shape_rejected():
+    with pytest.raises(ConfigError):
+        TreeParams.geometric(geo_shape="spiral")
+
+
+def test_fixed_shape_depth_guard():
+    with pytest.raises(ConfigError, match="gen_mx"):
+        TreeParams.geometric(b0=4, gen_mx=20, geo_shape="fixed")
+
+
+def test_linear_depth_bounded_by_gen_mx():
+    p = TreeParams.geometric(b0=4, gen_mx=7, seed=3, geo_shape="linear")
+    assert count_tree(p).max_depth <= 7
+
+
+def test_fixed_depth_bounded_by_gen_mx():
+    p = TreeParams.geometric(b0=3, gen_mx=6, seed=3, geo_shape="fixed")
+    assert count_tree(p).max_depth <= 6
+
+
+def test_cyclic_depth_bounded_by_5_gen_mx():
+    p = TreeParams.geometric(b0=3, gen_mx=4, seed=5, geo_shape="cyclic")
+    assert count_tree(p, max_nodes=500_000).max_depth <= 20
+
+
+def test_expdec_branching_decreases_with_depth():
+    p = TreeParams.geometric(b0=8, gen_mx=10, geo_shape="expdec")
+    tree = Tree(p)
+    factors = [tree._geo_branching_factor(d) for d in range(1, 10)]
+    assert factors == sorted(factors, reverse=True)
+    assert tree._geo_branching_factor(0) == 8.0
+
+
+def test_fixed_tree_statistics():
+    """Fixed shape: every interior node's mean child count is b0, so
+    size grows roughly geometrically with gen_mx."""
+    small = count_tree(TreeParams.geometric(b0=3, gen_mx=3, seed=0,
+                                            geo_shape="fixed")).n_nodes
+    large = count_tree(TreeParams.geometric(b0=3, gen_mx=6, seed=0,
+                                            geo_shape="fixed"),
+                       max_nodes=500_000).n_nodes
+    assert large > small
+
+
+def test_describe_mentions_shape():
+    p = TreeParams.geometric(geo_shape="cyclic")
+    assert "cyclic" in p.describe()
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_conservation_through_parallel_search(shape):
+    p = TreeParams.geometric(b0=3, gen_mx=5, seed=2, geo_shape=shape)
+    run_experiment("upc-distmem", tree=p, threads=6, preset="kittyhawk",
+                   chunk_size=2, verify=True)

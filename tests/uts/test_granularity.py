@@ -1,0 +1,43 @@
+"""Tests for the UTS compute-granularity knob."""
+
+import dataclasses
+
+import pytest
+
+from repro import TreeParams, count_tree, run_experiment
+from repro.errors import ConfigError
+
+BASE = TreeParams.binomial(b0=100, m=2, q=0.49, seed=0)
+COARSE = dataclasses.replace(BASE, compute_granularity=16)
+
+
+def test_granularity_validated():
+    with pytest.raises(ConfigError):
+        TreeParams.binomial(b0=10, q=0.3).__class__(
+            b0=10, q=0.3, compute_granularity=0)
+
+
+def test_granularity_does_not_change_the_tree():
+    assert count_tree(BASE).n_nodes == count_tree(COARSE).n_nodes
+
+
+def test_granularity_scales_sequential_time():
+    kw = dict(threads=1, preset="kittyhawk", chunk_size=4)
+    fine = run_experiment("upc-distmem", tree=BASE, **kw)
+    coarse = run_experiment("upc-distmem", tree=COARSE, **kw)
+    assert coarse.sim_time == pytest.approx(16 * fine.sim_time, rel=0.05)
+    assert coarse.t1 == pytest.approx(16 * fine.t1, rel=1e-9)
+
+
+def test_granularity_improves_parallel_efficiency():
+    """Coarser per-node work amortizes steal overhead."""
+    kw = dict(threads=8, preset="kittyhawk", chunk_size=4, verify=True)
+    fine = run_experiment("upc-distmem", tree=BASE, **kw)
+    coarse = run_experiment("upc-distmem", tree=COARSE, **kw)
+    assert coarse.efficiency > fine.efficiency
+
+
+def test_granularity_conserves_across_algorithms():
+    for alg in ("upc-sharedmem", "mpi-ws"):
+        run_experiment(alg, tree=COARSE, threads=6, preset="kittyhawk",
+                       chunk_size=4, verify=True)

@@ -1,0 +1,73 @@
+"""Tests for tree parameterization and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uts import T1_PAPER, T3_PAPER, TreeParams
+
+
+class TestValidation:
+    def test_default_is_valid_binomial(self):
+        p = TreeParams()
+        assert p.shape == "binomial"
+
+    def test_unknown_shape(self):
+        with pytest.raises(ConfigError):
+            TreeParams(shape="fractal")
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ConfigError):
+            TreeParams.binomial(q=1.0)
+        with pytest.raises(ConfigError):
+            TreeParams.binomial(q=-0.1)
+
+    def test_supercritical_rejected(self):
+        with pytest.raises(ConfigError, match="supercritical"):
+            TreeParams.binomial(m=3, q=0.34)
+
+    def test_just_subcritical_accepted(self):
+        TreeParams.binomial(m=2, q=0.499999)
+
+    def test_negative_b0(self):
+        with pytest.raises(ConfigError):
+            TreeParams.binomial(b0=-1)
+
+    def test_geometric_gen_mx(self):
+        with pytest.raises(ConfigError):
+            TreeParams.geometric(gen_mx=0)
+
+
+class TestDerived:
+    def test_expected_size_formula(self):
+        # E[subtree] = 1/(1-mq); total = 1 + b0 * E.
+        p = TreeParams.binomial(b0=100, m=2, q=0.25)
+        assert p.expected_size() == pytest.approx(1 + 100 * 2.0)
+
+    def test_expected_size_none_for_geometric(self):
+        assert TreeParams.geometric().expected_size() is None
+
+    def test_with_seed_and_engine_are_copies(self):
+        p = TreeParams.binomial(q=0.3)
+        p2 = p.with_seed(9).with_engine("splitmix")
+        assert p2.seed == 9 and p2.engine == "splitmix"
+        assert p.seed == 0 and p.engine == "sha1"
+
+    def test_describe_mentions_parameters(self):
+        assert "q=0.3" in TreeParams.binomial(q=0.3).describe()
+        assert "gen_mx" in TreeParams.geometric().describe()
+
+
+class TestPaperTrees:
+    def test_t1_matches_footnote_1(self):
+        assert T1_PAPER.b0 == 2000
+        assert T1_PAPER.m == 2
+        assert T1_PAPER.seed == 0
+        assert T1_PAPER.q == pytest.approx(0.5 * (1 - 1e-8))
+
+    def test_t3_matches_footnote_2(self):
+        assert T3_PAPER.seed == 559
+        assert T3_PAPER.q == pytest.approx(0.5 * (1 - 1e-6))
+
+    def test_paper_trees_have_enormous_expected_size(self):
+        assert T1_PAPER.expected_size() > 1e10
+        assert T3_PAPER.expected_size() > 1e8

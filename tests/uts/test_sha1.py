@@ -1,0 +1,45 @@
+"""Verify the from-scratch SHA-1 against RFC vectors and hashlib."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uts.sha1 import sha1, sha1_hex
+
+# RFC 3174 / FIPS 180-1 test vectors.
+VECTORS = [
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "84983e441c3bd26ebaae4aa1f95129e5e54670f1"),
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+    (b"a" * 1_000_000, "34aa973cd4c4daa4f61eeb2bdbad27316534016f"),
+]
+
+
+@pytest.mark.parametrize("msg,digest", VECTORS[:3])
+def test_rfc_vectors(msg, digest):
+    assert sha1_hex(msg) == digest
+
+
+def test_million_a_vector():
+    msg, digest = VECTORS[3]
+    assert sha1_hex(msg) == digest
+
+
+def test_digest_is_20_bytes():
+    assert len(sha1(b"x")) == 20
+
+
+@pytest.mark.parametrize("length", [0, 1, 55, 56, 57, 63, 64, 65, 119, 128])
+def test_padding_boundaries_match_hashlib(length):
+    msg = bytes(range(256))[:length] if length <= 256 else b"q" * length
+    msg = (b"0123456789" * 20)[:length]
+    assert sha1(msg) == hashlib.sha1(msg).digest()
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_matches_hashlib_on_random_inputs(msg):
+    assert sha1(msg) == hashlib.sha1(msg).digest()

@@ -1,0 +1,185 @@
+"""Cross-algorithm correctness tests.
+
+The master invariant (DESIGN.md #2): every algorithm, on every
+seed/thread-count/chunk-size combination, must count *exactly* the
+sequential node total -- work stealing may reorder the traversal but
+can never lose or duplicate work.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ALGORITHMS,
+    TreeParams,
+    WsConfig,
+    expected_node_count,
+    run_experiment,
+)
+
+ALG_NAMES = sorted(ALGORITHMS)
+
+SMALL_TREE = TreeParams.binomial(b0=40, m=2, q=0.47, seed=7)       # ~1.5k nodes
+MEDIUM_TREE = TreeParams.binomial(b0=100, m=2, q=0.49, seed=0)     # ~2.1k nodes
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+@pytest.mark.parametrize("threads", [1, 2, 3, 8, 17])
+def test_conservation_across_thread_counts(alg, threads):
+    res = run_experiment(alg, tree=SMALL_TREE, threads=threads,
+                         preset="kittyhawk", chunk_size=4, verify=True)
+    assert res.total_nodes == expected_node_count(SMALL_TREE)
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+@pytest.mark.parametrize("k", [1, 2, 5, 16, 64])
+def test_conservation_across_chunk_sizes(alg, k):
+    run_experiment(alg, tree=MEDIUM_TREE, threads=8, preset="kittyhawk",
+                   chunk_size=k, verify=True)
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+@pytest.mark.parametrize("preset", ["kittyhawk", "topsail", "altix", "sharedmem"])
+def test_conservation_across_platforms(alg, preset):
+    run_experiment(alg, tree=SMALL_TREE, threads=6, preset=preset,
+                   chunk_size=4, verify=True)
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_single_thread_equals_sequential_work(alg):
+    """One thread, no stealing possible: node count still exact and all
+    load-balancing counters stay zero."""
+    res = run_experiment(alg, tree=SMALL_TREE, threads=1,
+                         preset="kittyhawk", chunk_size=4, verify=True)
+    assert res.stats.steals_ok == 0
+    assert res.stats.nodes_stolen == 0
+    assert res.speedup <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_degenerate_single_node_tree(alg):
+    """b0=0: the root is the whole tree."""
+    tree = TreeParams.binomial(b0=0, q=0.3, seed=0)
+    res = run_experiment(alg, tree=tree, threads=4, preset="kittyhawk",
+                         chunk_size=2, verify=True)
+    assert res.total_nodes == 1
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_tiny_tree_many_threads(alg):
+    """More threads than nodes: most threads never get work."""
+    tree = TreeParams.binomial(b0=3, q=0.2, seed=1)
+    run_experiment(alg, tree=tree, threads=16, preset="kittyhawk",
+                   chunk_size=1, verify=True)
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_determinism(alg):
+    """Identical configuration -> bit-identical results."""
+    kw = dict(tree=SMALL_TREE, threads=5, preset="kittyhawk", chunk_size=4,
+              seed=3)
+    a = run_experiment(alg, **kw)
+    b = run_experiment(alg, **kw)
+    assert a.sim_time == b.sim_time
+    assert a.total_nodes == b.total_nodes
+    assert [s.nodes_visited for s in a.per_thread] == \
+        [s.nodes_visited for s in b.per_thread]
+    assert a.stats.steals_ok == b.stats.steals_ok
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_simulation_seed_changes_schedule_not_answer(alg):
+    kw = dict(tree=SMALL_TREE, threads=5, preset="kittyhawk", chunk_size=4)
+    a = run_experiment(alg, seed=0, **kw)
+    b = run_experiment(alg, seed=99, **kw)
+    assert a.total_nodes == b.total_nodes
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_work_actually_distributes(alg):
+    """On a tree with plenty of work, more than one thread visits nodes."""
+    res = run_experiment(alg, tree=MEDIUM_TREE, threads=8,
+                         preset="kittyhawk", chunk_size=2)
+    active = sum(1 for s in res.per_thread if s.nodes_visited > 0)
+    assert active >= 4
+    assert res.stats.steals_ok > 0
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_geometric_tree_supported(alg):
+    tree = TreeParams.geometric(b0=4, gen_mx=8, seed=2)
+    run_experiment(alg, tree=tree, threads=4, preset="kittyhawk",
+                   chunk_size=2, verify=True)
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_state_times_cover_simulation(alg):
+    """Every thread's state-timer must account for the whole run."""
+    res = run_experiment(alg, tree=SMALL_TREE, threads=4,
+                         preset="kittyhawk", chunk_size=4)
+    for s in res.per_thread:
+        assert s.timer.total() == pytest.approx(res.sim_time, rel=1e-9)
+
+
+@pytest.mark.parametrize("alg", ALG_NAMES)
+def test_working_time_at_least_node_visits(alg):
+    """Working-state time >= pure node-visit time for each thread."""
+    res = run_experiment(alg, tree=MEDIUM_TREE, threads=4,
+                         preset="kittyhawk", chunk_size=4)
+    for s in res.per_thread:
+        assert s.timer.times["working"] >= \
+            s.nodes_visited * res.node_visit_time - 1e-12
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       threads=st.integers(min_value=1, max_value=12),
+       k=st.integers(min_value=1, max_value=10),
+       alg=st.sampled_from(ALG_NAMES))
+@settings(max_examples=60, deadline=None)
+def test_conservation_property(seed, threads, k, alg):
+    """Hypothesis sweep of the master invariant."""
+    tree = TreeParams.binomial(b0=10, m=2, q=0.42, seed=seed)
+    run_experiment(alg, tree=tree, threads=threads, chunk_size=k,
+                   preset="kittyhawk", verify=True)
+
+
+class TestProtocolCounters:
+    def test_lock_based_steals_accounted(self):
+        res = run_experiment("upc-term-rapdif", tree=MEDIUM_TREE, threads=8,
+                             preset="kittyhawk", chunk_size=2)
+        a = res.stats
+        assert a.steals_ok <= a.steal_attempts
+        assert a.nodes_stolen == a.chunks_stolen * 2  # k=2, full chunks
+
+    def test_distmem_requests_balance_steals(self):
+        res = run_experiment("upc-distmem", tree=MEDIUM_TREE, threads=8,
+                             preset="kittyhawk", chunk_size=2)
+        a = res.stats
+        assert a.requests_granted == a.steals_ok
+        assert a.requests_granted + a.requests_denied <= a.steal_attempts
+
+    def test_mpi_message_counts(self):
+        res = run_experiment("mpi-ws", tree=MEDIUM_TREE, threads=8,
+                             preset="kittyhawk", chunk_size=2)
+        a = res.stats
+        assert a.msgs_sent > 0
+        assert a.tokens_forwarded > 0
+        # Every successful steal moved exactly one chunk (steal-one).
+        assert a.chunks_stolen == a.steals_ok
+
+    def test_sharedmem_barrier_cancels_on_releases(self):
+        res = run_experiment("upc-sharedmem", tree=MEDIUM_TREE, threads=8,
+                             preset="kittyhawk", chunk_size=2)
+        # The cancelable barrier is reset on every release.
+        assert res.stats.releases > 0
+
+    def test_rapid_diffusion_steals_more_chunks_per_steal(self):
+        one = run_experiment("upc-term", tree=MEDIUM_TREE, threads=8,
+                             preset="kittyhawk", chunk_size=2)
+        half = run_experiment("upc-term-rapdif", tree=MEDIUM_TREE, threads=8,
+                              preset="kittyhawk", chunk_size=2)
+        cps_one = one.stats.chunks_stolen / max(one.stats.steals_ok, 1)
+        cps_half = half.stats.chunks_stolen / max(half.stats.steals_ok, 1)
+        assert cps_one == pytest.approx(1.0)
+        assert cps_half >= cps_one

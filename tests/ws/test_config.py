@@ -1,0 +1,38 @@
+"""Tests for WsConfig validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ws import WsConfig
+
+
+def test_defaults_valid():
+    cfg = WsConfig()
+    assert cfg.chunk_size == 8
+    assert cfg.release_threshold == 16
+
+
+def test_release_threshold_scales_with_k():
+    assert WsConfig(chunk_size=5, release_factor=3).release_threshold == 15
+
+
+def test_with_chunk_size_copy():
+    cfg = WsConfig(chunk_size=8)
+    cfg2 = cfg.with_chunk_size(32)
+    assert cfg2.chunk_size == 32
+    assert cfg.chunk_size == 8
+
+
+@pytest.mark.parametrize("kw", [
+    {"chunk_size": 0},
+    {"release_factor": 1},
+    {"poll_interval": 0},
+    {"search_backoff_min": 0.0},
+    {"search_backoff_min": 1e-3, "search_backoff_max": 1e-6},
+    {"search_backoff_factor": 0.5},
+    {"barrier_poll_min": 0.0},
+    {"barrier_poll_min": 1e-3, "barrier_poll_max": 1e-6},
+])
+def test_invalid_configs_rejected(kw):
+    with pytest.raises(ConfigError):
+        WsConfig(**kw)

@@ -1,0 +1,74 @@
+"""Tests for the hierarchical (Sect. 6.2) probe order and algorithm."""
+
+import pytest
+
+from repro import TreeParams, run_experiment
+from repro.net import NetworkModel
+from repro.sim.rng import StreamRng
+from repro.ws.policies import HierarchicalProbeOrder
+
+NET = NetworkModel(cores_per_node=4)
+
+
+def make_order(rank=0, n=16):
+    return HierarchicalProbeOrder(rank, n, StreamRng(0, "t", rank),
+                                  NET.same_node)
+
+
+class TestHierarchicalProbeOrder:
+    def test_cycle_is_permutation(self):
+        po = make_order(rank=5, n=16)
+        cyc = po.cycle()
+        assert sorted(cyc) == [t for t in range(16) if t != 5]
+
+    def test_on_node_ranks_come_first(self):
+        po = make_order(rank=5, n=16)  # node 1 = ranks 4..7
+        cyc = po.cycle()
+        assert set(cyc[:3]) == {4, 6, 7}
+
+    def test_every_cycle_keeps_on_node_prefix(self):
+        po = make_order(rank=0, n=12)  # node 0 = ranks 0..3
+        for _ in range(10):
+            assert set(po.cycle()[:3]) == {1, 2, 3}
+
+    def test_one_never_self(self):
+        po = make_order(rank=2, n=8)
+        assert all(po.one() != 2 for _ in range(200))
+
+    def test_one_prefers_on_node(self):
+        po = make_order(rank=0, n=64)
+        picks = [po.one() for _ in range(500)]
+        on_node = sum(1 for p in picks if p in (1, 2, 3))
+        # Uniform choice would give ~3/63 = 4.8%; preference gives ~50%+.
+        assert on_node > len(picks) * 0.3
+
+    def test_rank_alone_on_node(self):
+        """cores_per_node=1: no on-node peers; falls back to uniform."""
+        net1 = NetworkModel(cores_per_node=1)
+        po = HierarchicalProbeOrder(0, 8, StreamRng(0, "t", 0),
+                                    net1.same_node)
+        assert sorted(po.cycle()) == list(range(1, 8))
+        assert po.one() in range(1, 8)
+
+
+class TestHierAlgorithm:
+    TREE = TreeParams.binomial(b0=60, m=2, q=0.47, seed=4)
+
+    @pytest.mark.parametrize("threads", [2, 8, 13])
+    def test_conservation(self, threads):
+        run_experiment("upc-distmem-hier", tree=self.TREE, threads=threads,
+                       preset="kittyhawk", chunk_size=4, verify=True)
+
+    def test_determinism(self):
+        kw = dict(tree=self.TREE, threads=8, preset="kittyhawk", chunk_size=4)
+        a = run_experiment("upc-distmem-hier", **kw)
+        b = run_experiment("upc-distmem-hier", **kw)
+        assert a.sim_time == b.sim_time
+
+    def test_competitive_with_flat_distmem(self):
+        tree = TreeParams.binomial(b0=200, m=2, q=0.49, seed=1)
+        kw = dict(tree=tree, threads=8, preset="kittyhawk", chunk_size=4,
+                  verify=True)
+        flat = run_experiment("upc-distmem", **kw)
+        hier = run_experiment("upc-distmem-hier", **kw)
+        assert hier.nodes_per_sec > 0.5 * flat.nodes_per_sec

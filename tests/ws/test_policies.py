@@ -1,0 +1,63 @@
+"""Tests for steal-amount and probe-order policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import StreamRng
+from repro.ws.policies import ProbeOrder, steal_half, steal_one
+
+
+class TestStealAmounts:
+    def test_steal_one_always_one(self):
+        for n in (1, 2, 10, 1000):
+            assert steal_one(n) == 1
+
+    def test_steal_half_single_chunk(self):
+        assert steal_half(1) == 1
+
+    def test_steal_half_pairs(self):
+        assert steal_half(2) == 1
+        assert steal_half(3) == 2
+        assert steal_half(4) == 2
+        assert steal_half(10) == 5
+        assert steal_half(11) == 6
+
+    def test_zero_available_rejected(self):
+        with pytest.raises(ValueError):
+            steal_one(0)
+        with pytest.raises(ValueError):
+            steal_half(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_steal_half_never_exceeds_available(self, n):
+        take = steal_half(n)
+        assert 1 <= take <= n
+        # Taking "half" always leaves at least half-rounded-down behind.
+        assert n - take >= n // 2 - 1
+
+
+class TestProbeOrder:
+    def test_cycle_is_permutation_of_others(self):
+        po = ProbeOrder(rank=3, n_threads=8, rng=StreamRng(0, "t", 3))
+        cyc = po.cycle()
+        assert sorted(cyc) == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_cycles_vary(self):
+        po = ProbeOrder(rank=0, n_threads=32, rng=StreamRng(0, "t", 0))
+        assert po.cycle() != po.cycle()  # astronomically unlikely to match
+
+    def test_deterministic_across_instances(self):
+        a = ProbeOrder(0, 16, StreamRng(5, "t", 0))
+        b = ProbeOrder(0, 16, StreamRng(5, "t", 0))
+        assert [a.cycle() for _ in range(3)] == [b.cycle() for _ in range(3)]
+
+    def test_one_never_self(self):
+        po = ProbeOrder(rank=2, n_threads=4, rng=StreamRng(1, "t", 2))
+        assert all(po.one() != 2 for _ in range(100))
+
+    def test_two_threads(self):
+        po = ProbeOrder(rank=0, n_threads=2, rng=StreamRng(0, "t", 0))
+        assert po.cycle() == [1]
+        assert po.one() == 1

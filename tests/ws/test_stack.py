@@ -1,0 +1,140 @@
+"""Tests for the split DFS stack (Figure 2), including conservation
+property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.ws.stack import SplitStack
+
+
+def node(i):
+    """A fake tree node."""
+    return (i.to_bytes(4, "big"), 0)
+
+
+@pytest.fixture
+def stack():
+    s = SplitStack()
+    s.push_many([node(i) for i in range(10)])
+    return s
+
+
+class TestLocalRegion:
+    def test_push_pop_lifo(self):
+        s = SplitStack()
+        s.push(node(1))
+        s.push(node(2))
+        assert s.pop() == node(2)
+        assert s.pop() == node(1)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            SplitStack().pop()
+
+    def test_sizes(self, stack):
+        assert stack.local_size == 10
+        assert stack.shared_chunks == 0
+        assert stack.total_nodes == 10
+        assert not stack.is_empty
+
+
+class TestReleaseReacquire:
+    def test_release_moves_bottom_nodes(self, stack):
+        stack.release(4)
+        assert stack.local_size == 6
+        assert stack.shared_chunks == 1
+        assert stack.shared_nodes == 4
+        # The chunk is the oldest (bottom) nodes.
+        assert stack.shared[0] == [node(i) for i in range(4)]
+        # The local top is unchanged.
+        assert stack.pop() == node(9)
+
+    def test_release_more_than_local_raises(self, stack):
+        with pytest.raises(ProtocolError):
+            stack.release(11)
+
+    def test_reacquire_restores_newest_chunk(self, stack):
+        stack.release(4)
+        stack.release(3)  # nodes 4,5,6
+        got = stack.reacquire()
+        assert got == 3
+        assert stack.shared_chunks == 1
+        assert stack.local_size == 6
+        # Reacquired nodes land at the bottom of the local region.
+        assert stack.local[0] == node(4)
+
+    def test_reacquire_empty_raises(self, stack):
+        with pytest.raises(ProtocolError):
+            stack.reacquire()
+
+    def test_release_reacquire_roundtrip_preserves_set(self, stack):
+        before = set(stack.local)
+        stack.release(5)
+        stack.release(5)
+        stack.reacquire()
+        stack.reacquire()
+        assert set(stack.local) == before
+
+
+class TestSteal:
+    def test_steal_takes_oldest_chunks(self, stack):
+        stack.release(3)  # 0,1,2
+        stack.release(3)  # 3,4,5
+        chunks = stack.steal_chunks(1)
+        assert chunks == [[node(0), node(1), node(2)]]
+        assert stack.shared_chunks == 1
+
+    def test_steal_multiple(self, stack):
+        stack.release(2)
+        stack.release(2)
+        stack.release(2)
+        chunks = stack.steal_chunks(2)
+        assert len(chunks) == 2
+        assert stack.shared_chunks == 1
+
+    def test_steal_too_many_raises(self, stack):
+        stack.release(4)
+        with pytest.raises(ProtocolError):
+            stack.steal_chunks(2)
+
+    def test_steal_zero_raises(self, stack):
+        stack.release(4)
+        with pytest.raises(ProtocolError):
+            stack.steal_chunks(0)
+
+
+@given(st.lists(st.sampled_from(["push", "pop", "release", "reacquire", "steal"]),
+                max_size=200),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_conservation_under_random_operations(ops, k):
+    """No sequence of stack operations creates or destroys nodes."""
+    stack = SplitStack()
+    counter = 0
+    in_stack = 0
+    stolen = []
+    popped = 0
+    for op in ops:
+        if op == "push":
+            stack.push(node(counter))
+            counter += 1
+            in_stack += 1
+        elif op == "pop" and stack.local_size:
+            stack.pop()
+            popped += 1
+            in_stack -= 1
+        elif op == "release" and stack.local_size >= k:
+            stack.release(k)
+        elif op == "reacquire" and stack.shared_chunks:
+            stack.reacquire()
+        elif op == "steal" and stack.shared_chunks:
+            for c in stack.steal_chunks(1):
+                stolen.extend(c)
+                in_stack -= len(c)
+        assert stack.total_nodes == in_stack
+    assert counter == popped + len(stolen) + stack.total_nodes
+    # No duplicates anywhere.
+    remaining = stack.local + [n for c in stack.shared for n in c]
+    assert len(set(remaining) | set(stolen)) == len(remaining) + len(stolen)

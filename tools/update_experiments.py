@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Regenerate the measured tables in EXPERIMENTS.md from results/*.json.
+
+Usage:  python tools/update_experiments.py [results_dir]
+
+Reads ``full_fig4.json`` / ``full_fig5.json`` / ``full_fig6.json`` (as
+written by ``repro-uts report --scale full`` with ``save_dir``) and
+prints the markdown tables EXPERIMENTS.md embeds, so the document can
+be refreshed after any change that shifts the flagship numbers.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def load(results_dir: Path, name: str) -> dict:
+    data = json.loads((results_dir / f"full_{name}.json").read_text())
+    return data
+
+
+def runs_by(data, **filters):
+    out = []
+    for r in data["runs"]:
+        if all(r[k] == v for k, v in filters.items()):
+            out.append(r)
+    return out
+
+
+def fig4_table(data) -> str:
+    ks = sorted({r["chunk_size"] for r in data["runs"]})
+    algs = ["upc-distmem", "upc-term-rapdif", "upc-term", "upc-sharedmem",
+            "mpi-ws"]
+    lines = ["| k | distmem | term-rapdif | term | sharedmem | mpi-ws |",
+             "|---|---|---|---|---|---|"]
+    for k in ks:
+        row = [str(k)]
+        best = max(r["nodes_per_sec"] for r in data["runs"]
+                   if r["chunk_size"] == k)
+        for alg in algs:
+            (r,) = runs_by(data, algorithm=alg, chunk_size=k)
+            cell = f"{r['nodes_per_sec'] / 1e6:.1f}"
+            if r["nodes_per_sec"] == best:
+                cell = f"**{cell}**"
+            row.append(cell)
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def fig5_table(data) -> str:
+    ts = sorted({r["threads"] for r in data["runs"]})
+    algs = ["upc-distmem", "mpi-ws", "upc-sharedmem"]
+    lines = ["| threads | distmem speedup (eff) | mpi-ws speedup (eff) "
+             "| sharedmem speedup (eff) |", "|---|---|---|---|"]
+    for t in ts:
+        row = [str(t)]
+        for alg in algs:
+            (r,) = runs_by(data, algorithm=alg, threads=t)
+            row.append(f"{r['speedup']:.1f} ({r['efficiency'] * 100:.0f}%)")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def fig6_table(data) -> str:
+    ts = sorted({r["threads"] for r in data["runs"]})
+    algs = ["upc-sharedmem", "upc-distmem", "mpi-ws"]
+    lines = ["| threads | upc-sharedmem | upc-distmem | mpi-ws |",
+             "|---|---|---|---|"]
+    for t in ts:
+        row = [str(t)]
+        for alg in algs:
+            (r,) = runs_by(data, algorithm=alg, threads=t)
+            row.append(f"{r['efficiency'] * 100:.1f}%")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def claims_summary(fig5_data) -> str:
+    top_t = max(r["threads"] for r in fig5_data["runs"])
+    (r,) = runs_by(fig5_data, algorithm="upc-distmem", threads=top_t)
+    return (f"top point: T={top_t}: speedup {r['speedup']:.1f} "
+            f"({r['efficiency'] * 100:.1f}%), "
+            f"{r['steals_per_sec']:,.0f} steals/s, "
+            f"working share {r['working_fraction'] * 100:.1f}%")
+
+
+def main() -> None:
+    results_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    for name, fn in (("fig4", fig4_table), ("fig5", fig5_table),
+                     ("fig6", fig6_table)):
+        data = load(results_dir, name)
+        print(f"### {name}\n")
+        print(fn(data))
+        print()
+    print("### claims\n")
+    print(claims_summary(load(results_dir, "fig5")))
+
+
+if __name__ == "__main__":
+    main()
