@@ -29,20 +29,26 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     SimulationError,
+    SweepWorkerError,
 )
 from repro.harness.runner import expected_node_count, run_experiment
+from repro.harness.sweep import run_sweep
 from repro.metrics import RunResult
 from repro.net import ALTIX, KITTYHAWK, PRESETS, SHAREDMEM, TOPSAIL, NetworkModel, get_preset
-from repro.uts import T1_PAPER, T3_PAPER, Tree, TreeParams, count_tree
+from repro.uts import (T1_PAPER, T3_PAPER, MaterializedTree, Tree, TreeParams,
+                       count_tree, materialize)
 from repro.ws import ALGORITHMS, FIGURE_ORDER, WsConfig, get_algorithm
 
 __all__ = [
     "__version__",
     "run_experiment",
     "expected_node_count",
+    "run_sweep",
     "RunResult",
     "TreeParams",
     "Tree",
+    "MaterializedTree",
+    "materialize",
     "count_tree",
     "T1_PAPER",
     "T3_PAPER",
@@ -63,4 +69,5 @@ __all__ = [
     "EventLimitExceeded",
     "ProtocolError",
     "ConfigError",
+    "SweepWorkerError",
 ]

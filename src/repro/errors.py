@@ -29,3 +29,13 @@ class ProtocolError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment, machine, or tree configuration."""
+
+
+class SweepWorkerError(ReproError):
+    """A sweep worker process failed while executing one job.
+
+    The message carries the failing cell's identity
+    (``algorithm/threads/chunk_size/tree``) and the worker-side
+    traceback, so a crash deep inside a forked process is still
+    attributable to one grid cell.
+    """

@@ -13,7 +13,8 @@ from repro.harness.figures import (
     sequential_baseline,
 )
 from repro.harness.io import load_json, save_csv, save_json
-from repro.harness.runner import expected_node_count, run_experiment
+from repro.harness.parallel import JobSpec, execute_jobs, resolve_jobs
+from repro.harness.runner import expected_node_count, run_experiment, tree_for
 from repro.harness.sweep import SweepResult, run_sweep
 from repro.harness.report_md import generate_report
 from repro.harness.validate import ValidationReport, validate_grid
@@ -21,6 +22,10 @@ from repro.harness.validate import ValidationReport, validate_grid
 __all__ = [
     "run_experiment",
     "expected_node_count",
+    "tree_for",
+    "JobSpec",
+    "execute_jobs",
+    "resolve_jobs",
     "FigureSetup",
     "setup_for",
     "SCALES",

@@ -4,6 +4,7 @@ Examples::
 
     repro-uts run --algorithm upc-distmem --threads 16 --chunk-size 8
     repro-uts fig4 --scale quick --json results/fig4.json
+    repro-uts fig4 --scale quick --jobs 4
     repro-uts claims --scale full
     repro-uts all --scale quick
 """
@@ -51,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--scale", choices=SCALES, default="quick")
         fp.add_argument("--json", help="write results as JSON to this path")
         fp.add_argument("--csv", help="write results as CSV to this path")
+        if fig in ("fig4", "fig5", "fig6", "all"):
+            fp.add_argument(
+                "--jobs", type=int, default=None, metavar="N",
+                help="sweep worker processes (default: $REPRO_JOBS or 1; "
+                     "0 = one per CPU); results are identical for any N")
 
     tl = sub.add_parser("timeline", help="render per-thread execution timeline")
     tl.add_argument("--algorithm", choices=sorted(ALGORITHMS),
@@ -104,7 +110,8 @@ def _run_figure(name: str, args: argparse.Namespace,
                 suffix_outputs: bool = False) -> int:
     fn = {"fig4": figures.figure4, "fig5": figures.figure5,
           "fig6": figures.figure6}[name]
-    result = fn(scale=args.scale, progress=_echo)
+    result = fn(scale=args.scale, progress=_echo,
+                jobs=getattr(args, "jobs", None))
     print()
     print(result.render())
     if args.json:

@@ -12,7 +12,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.harness.ascii_plot import ascii_chart, series_table
 from repro.harness.config import setup_for
-from repro.harness.runner import expected_node_count, run_experiment
+from repro.harness.parallel import expected_nodes_for, shared_tree
+from repro.harness.runner import run_experiment
 from repro.harness.sweep import SweepResult, run_sweep
 from repro.metrics.report import RunResult
 from repro.net.presets import PRESETS
@@ -101,21 +102,24 @@ class FigureResult:
         }
 
 
-def figure4(scale: str = "quick", progress: Progress = None) -> FigureResult:
+def figure4(scale: str = "quick", progress: Progress = None,
+            jobs: Optional[int] = None) -> FigureResult:
     """Figure 4: speedup & performance vs chunk size (Kitty Hawk model)."""
-    sweep = run_sweep(setup_for("fig4", scale), progress=progress)
+    sweep = run_sweep(setup_for("fig4", scale), progress=progress, jobs=jobs)
     return FigureResult("fig4", scale, "chunk_size", sweep)
 
 
-def figure5(scale: str = "quick", progress: Progress = None) -> FigureResult:
+def figure5(scale: str = "quick", progress: Progress = None,
+            jobs: Optional[int] = None) -> FigureResult:
     """Figure 5: speedup & performance vs thread count (Topsail model)."""
-    sweep = run_sweep(setup_for("fig5", scale), progress=progress)
+    sweep = run_sweep(setup_for("fig5", scale), progress=progress, jobs=jobs)
     return FigureResult("fig5", scale, "threads", sweep)
 
 
-def figure6(scale: str = "quick", progress: Progress = None) -> FigureResult:
+def figure6(scale: str = "quick", progress: Progress = None,
+            jobs: Optional[int] = None) -> FigureResult:
     """Figure 6: speedup & performance on shared memory (Altix model)."""
-    sweep = run_sweep(setup_for("fig6", scale), progress=progress)
+    sweep = run_sweep(setup_for("fig6", scale), progress=progress, jobs=jobs)
     return FigureResult("fig6", scale, "threads", sweep)
 
 
@@ -172,12 +176,13 @@ def ablation(scale: str = "quick", progress: Progress = None,
         best = {alg: from_figure4.sweep.best(alg) for alg in _ABLATION_CHAIN}
         return AblationResult(scale=scale, best=best)
     setup = setup_for("fig4", scale)
-    expected = expected_node_count(setup.tree)
+    expected = expected_nodes_for(setup.tree)
+    tree_obj = shared_tree(setup.tree)
     best: Dict[str, RunResult] = {}
     for alg in _ABLATION_CHAIN:
         runs = []
         for k in setup.chunk_sizes:
-            r = run_experiment(alg, tree=setup.tree,
+            r = run_experiment(alg, tree=tree_obj,
                                threads=setup.thread_counts[0],
                                preset=setup.preset, chunk_size=k)
             r.verify(expected)
@@ -242,9 +247,10 @@ def headline_claims(scale: str = "quick", progress: Progress = None,
         return ClaimsResult(run=from_figure5.sweep.get(
             "upc-distmem", threads=threads,
             chunk_size=setup.chunk_sizes[0]))
-    res = run_experiment("upc-distmem", tree=setup.tree, threads=threads,
-                         preset=setup.preset, chunk_size=setup.chunk_sizes[0])
-    res.verify(expected_node_count(setup.tree))
+    res = run_experiment("upc-distmem", tree=shared_tree(setup.tree),
+                         threads=threads, preset=setup.preset,
+                         chunk_size=setup.chunk_sizes[0])
+    res.verify(expected_nodes_for(setup.tree))
     if progress is not None:
         progress(res.summary())
     return ClaimsResult(run=res)

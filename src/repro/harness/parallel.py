@@ -1,0 +1,234 @@
+"""Process-parallel sweep execution engine.
+
+A figure sweep is an embarrassingly parallel grid of independent
+``(algorithm, tree, threads, preset, chunk_size, config)`` simulations.
+This module turns each grid cell into a picklable :class:`JobSpec` and
+executes the grid over a ``ProcessPoolExecutor``:
+
+* **Dynamic ordering** -- jobs are submitted longest-expected-first
+  (small chunk sizes and lock-based protocols generate far more
+  simulator events), so stragglers start early and the pool drains
+  evenly; results are re-assembled into grid order afterwards, making
+  the output list bit-identical to the serial path.
+* **Shared tree cache** -- the parent materializes each distinct
+  :class:`~repro.uts.params.TreeParams` once
+  (:mod:`repro.uts.materialized`) into a process-global registry
+  *before* the pool forks, so every worker reads the same expanded
+  tree copy-on-write instead of re-hashing it per run.
+* **Oracle shipped, not recomputed** -- the sequential node count is
+  resolved once in the parent and travels inside each ``JobSpec``; a
+  fresh worker process would otherwise miss the parent's ``lru_cache``
+  and pay a full sequential recount per process.
+* **Attributable failures** -- worker exceptions are captured with the
+  job's identity and re-raised in the parent as
+  :class:`~repro.errors.SweepWorkerError`.
+* **Graceful fallback** -- ``jobs=1``, a single-cell grid, or a
+  platform without ``fork`` all run the exact same job list serially
+  in-process.
+
+The worker count comes from (in order): an explicit ``jobs=`` argument,
+the ``REPRO_JOBS`` environment variable, else 1.  ``jobs=0`` means
+"one per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SweepWorkerError
+from repro.metrics.report import RunResult
+from repro.uts.materialized import MaterializedTree, materialize
+from repro.uts.params import TreeParams
+from repro.ws.config import WsConfig
+
+__all__ = ["JobSpec", "execute_jobs", "resolve_jobs", "shared_tree",
+           "expected_nodes_for", "fork_available"]
+
+Progress = Optional[Callable[[str], None]]
+
+#: Per-process registry of expanded trees, keyed by parameterization.
+#: Populated in the parent before the pool forks; forked workers
+#: inherit it copy-on-write, so the expansion happens once per host.
+_PROCESS_TREES: Dict[TreeParams, object] = {}
+
+
+def shared_tree(params: TreeParams):
+    """The process-wide tree object for ``params`` (materialized when
+    it fits under the node cap, implicit otherwise)."""
+    tree = _PROCESS_TREES.get(params)
+    if tree is None:
+        tree = _PROCESS_TREES[params] = materialize(params)
+    return tree
+
+
+def expected_nodes_for(params: TreeParams) -> int:
+    """Sequential oracle count, reusing the materialized expansion when
+    one exists (its node count *is* the sequential count)."""
+    tree = shared_tree(params)
+    if isinstance(tree, MaterializedTree):
+        return tree.n_nodes
+    from repro.harness.runner import expected_node_count
+
+    return expected_node_count(params)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` env var > 1."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def fork_available() -> bool:
+    """True when the platform supports fork-based worker processes."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One picklable sweep cell.
+
+    ``index`` is the cell's position in grid (serial) order; results
+    are re-assembled by it.  ``expected_nodes`` is the parent-computed
+    sequential oracle (``None`` skips worker-side verification).
+    """
+
+    index: int
+    algorithm: str
+    tree: TreeParams
+    threads: int
+    preset: str
+    chunk_size: int
+    config: Optional[WsConfig] = None
+    seed: int = 0
+    expected_nodes: Optional[int] = None
+    verify: bool = True
+
+    def describe(self) -> str:
+        return (f"{self.algorithm} T={self.threads} k={self.chunk_size} "
+                f"preset={self.preset} tree={self.tree.describe()}")
+
+    def cost_hint(self) -> float:
+        """Relative expected runtime, for longest-first scheduling.
+
+        Every run visits the same node count, but simulator event
+        traffic grows with thread count and (sharply) with ``1/k``;
+        the lock-based shared-memory protocol is the worst offender at
+        small ``k`` (its Figure-4 collapse).  A heuristic, not a model:
+        only the ordering quality depends on it, never correctness.
+        """
+        k = self.chunk_size if self.config is None else self.config.chunk_size
+        cost = self.threads * (1.0 + 16.0 / max(k, 1))
+        if self.algorithm == "upc-sharedmem":
+            cost *= 2.0
+        return cost
+
+
+def _execute_job(job: JobSpec) -> RunResult:
+    """Run one cell in the current process (shared tree, verified)."""
+    from repro.harness.runner import run_experiment
+
+    tree_obj = shared_tree(job.tree)
+    if job.config is not None:
+        result = run_experiment(job.algorithm, tree=tree_obj,
+                                threads=job.threads, preset=job.preset,
+                                config=job.config, seed=job.seed)
+    else:
+        result = run_experiment(job.algorithm, tree=tree_obj,
+                                threads=job.threads, preset=job.preset,
+                                chunk_size=job.chunk_size, seed=job.seed)
+    if job.verify and job.expected_nodes is not None:
+        result.verify(job.expected_nodes)
+    return result
+
+
+def _worker(job: JobSpec):
+    """Pool entry point: never raises, tags outcomes with job identity."""
+    try:
+        return ("ok", job.index, _execute_job(job))
+    except BaseException:
+        return ("err", job.index, job.describe(), traceback.format_exc())
+
+
+def _raise_worker_error(described: str, tb: str) -> None:
+    raise SweepWorkerError(
+        f"sweep job failed: {described}\n--- worker traceback ---\n{tb}"
+    )
+
+
+def execute_jobs(jobs: List[JobSpec], n_jobs: int = 1,
+                 progress: Progress = None) -> List[RunResult]:
+    """Execute every job; return results in grid (``index``) order.
+
+    ``n_jobs > 1`` fans out over forked worker processes; otherwise --
+    or when the platform lacks fork -- the same job list runs serially
+    in-process, producing identical results.  With ``n_jobs > 1``
+    progress lines arrive in completion order, not grid order.
+    """
+    if not jobs:
+        return []
+    if n_jobs <= 1 or len(jobs) == 1 or not fork_available():
+        return _execute_serial(jobs, progress)
+    return _execute_pool(jobs, n_jobs, progress)
+
+
+def _positions(jobs: List[JobSpec]) -> Dict[int, int]:
+    """job.index -> slot in the returned (grid-ordered) result list."""
+    return {job.index: slot
+            for slot, job in enumerate(sorted(jobs, key=lambda j: j.index))}
+
+
+def _execute_serial(jobs: List[JobSpec], progress: Progress) -> List[RunResult]:
+    slot_of = _positions(jobs)
+    results: List[Optional[RunResult]] = [None] * len(jobs)
+    for job in jobs:
+        status, index, *rest = _worker(job)
+        if status == "err":
+            _raise_worker_error(*rest)
+        result = rest[0]
+        results[slot_of[index]] = result
+        if progress is not None:
+            progress(result.summary())
+    return results  # type: ignore[return-value]
+
+
+def _execute_pool(jobs: List[JobSpec], n_jobs: int,
+                  progress: Progress) -> List[RunResult]:
+    import multiprocessing
+
+    # Expand every distinct tree BEFORE forking so workers inherit the
+    # materialized arrays copy-on-write instead of rebuilding them.
+    for params in {job.tree for job in jobs}:
+        shared_tree(params)
+
+    ordered = sorted(jobs, key=JobSpec.cost_hint, reverse=True)
+    slot_of = _positions(jobs)
+    results: List[Optional[RunResult]] = [None] * len(jobs)
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(jobs)),
+                             mp_context=ctx) as pool:
+        pending = {pool.submit(_worker, job) for job in ordered}
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    status, index, *rest = future.result()
+                    if status == "err":
+                        _raise_worker_error(*rest)
+                    result = rest[0]
+                    results[slot_of[index]] = result
+                    if progress is not None:
+                        progress(result.summary())
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+    return results  # type: ignore[return-value]

@@ -26,13 +26,24 @@ from repro.uts.tree import Tree
 from repro.ws.algorithms import get_algorithm
 from repro.ws.config import WsConfig
 
-__all__ = ["run_experiment", "expected_node_count"]
+__all__ = ["run_experiment", "expected_node_count", "tree_for"]
 
 
 @lru_cache(maxsize=128)
 def expected_node_count(params: TreeParams) -> int:
     """Sequential node count, cached per tree parameterization."""
     return count_tree(params).n_nodes
+
+
+@lru_cache(maxsize=64)
+def tree_for(params: TreeParams) -> Tree:
+    """One shared :class:`Tree` per parameterization.
+
+    A ``Tree`` is immutable after construction, so every run of the
+    same parameters can share one instance instead of re-running the
+    constructor (and its engine lookup) per sweep cell.
+    """
+    return Tree(params)
 
 
 def run_experiment(
@@ -84,7 +95,7 @@ def run_experiment(
     if threads < 1:
         raise ConfigError(f"threads must be >= 1, got {threads}")
     if isinstance(tree, TreeParams):
-        tree_obj = Tree(tree)
+        tree_obj = tree_for(tree)
         tree_desc = tree.describe()
     else:
         if verify:

@@ -3,15 +3,23 @@
 A sweep executes the cross product of a :class:`FigureSetup` and
 collects :class:`~repro.metrics.report.RunResult` objects, verifying
 node conservation on every run against the (cached) sequential count.
+
+Execution goes through :mod:`repro.harness.parallel`: the grid cells
+become :class:`~repro.harness.parallel.JobSpec` jobs sharing one
+materialized tree per parameterization, optionally fanned out over
+worker processes (``jobs=`` argument / ``REPRO_JOBS``).  The result
+list is in grid order and bit-identical regardless of worker count.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.harness.config import FigureSetup
-from repro.harness.runner import expected_node_count, run_experiment
+from repro.harness.parallel import (JobSpec, execute_jobs,
+                                    expected_nodes_for, resolve_jobs)
 from repro.metrics.report import RunResult
 
 __all__ = ["SweepResult", "run_sweep"]
@@ -50,18 +58,33 @@ class SweepResult:
 
 
 def run_sweep(setup: FigureSetup, *, verify: bool = True,
-              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
-    """Execute every (algorithm, k, T) combination of ``setup``."""
-    expected = expected_node_count(setup.tree)
-    out = SweepResult(setup=setup, expected_nodes=expected)
-    for alg in setup.algorithms:
-        for threads in setup.thread_counts:
-            for k in setup.chunk_sizes:
-                res = run_experiment(alg, tree=setup.tree, threads=threads,
-                                     preset=setup.preset, chunk_size=k)
-                if verify:
-                    res.verify(expected)
-                out.runs.append(res)
-                if progress is not None:
-                    progress(res.summary())
-    return out
+              progress: Optional[Callable[[str], None]] = None,
+              jobs: Optional[int] = None) -> SweepResult:
+    """Execute every (algorithm, k, T) combination of ``setup``.
+
+    ``jobs`` selects the worker-process count (default: ``REPRO_JOBS``
+    env var, else serial; ``0`` means one worker per CPU).  Results are
+    identical for every ``jobs`` value; with ``jobs > 1`` the per-run
+    progress lines arrive in completion order.
+    """
+    n_jobs = resolve_jobs(jobs)
+    expected = expected_nodes_for(setup.tree)
+    grid = [
+        JobSpec(index=i, algorithm=alg, tree=setup.tree, threads=threads,
+                preset=setup.preset, chunk_size=k, expected_nodes=expected,
+                verify=verify)
+        for i, (alg, threads, k) in enumerate(
+            (alg, threads, k)
+            for alg in setup.algorithms
+            for threads in setup.thread_counts
+            for k in setup.chunk_sizes)
+    ]
+    t0 = time.perf_counter()
+    runs = execute_jobs(grid, n_jobs, progress=progress)
+    wall = time.perf_counter() - t0
+    if progress is not None:
+        busy = sum(r.host_seconds for r in runs)
+        progress(f"sweep {setup.figure}[{setup.scale}]: {len(runs)} runs "
+                 f"in {wall:.1f}s host wall-clock with jobs={n_jobs} "
+                 f"(in-run total {busy:.1f}s, speedup {busy / wall:.2f}x)")
+    return SweepResult(setup=setup, expected_nodes=expected, runs=runs)

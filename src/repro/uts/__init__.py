@@ -6,9 +6,12 @@
   splittable RNG engines (SHA-1, from-scratch SHA-1, splitmix).
 * :func:`~repro.uts.sequential.count_tree` -- sequential reference
   traversal (the speedup baseline and the correctness oracle).
+* :class:`~repro.uts.materialized.MaterializedTree` -- expand-once
+  flat-array tree shared across repeated runs of one parameterization.
 * :mod:`repro.uts.stats` -- imbalance statistics.
 """
 
+from repro.uts.materialized import MaterializedTree, materialize
 from repro.uts.params import T1_PAPER, T3_PAPER, TreeParams
 from repro.uts.rng import RAND_MAX, get_engine
 from repro.uts.sequential import TreeStats, count_tree, sequential_search
@@ -22,6 +25,8 @@ __all__ = [
     "T3_PAPER",
     "Tree",
     "Node",
+    "MaterializedTree",
+    "materialize",
     "TreeStats",
     "count_tree",
     "sequential_search",

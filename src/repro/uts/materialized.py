@@ -1,0 +1,194 @@
+"""Materialized UTS trees: expand once, serve every subsequent run.
+
+A figure sweep executes dozens of independent runs over the *same*
+tree, and the implicit :class:`~repro.uts.tree.Tree` re-derives every
+node's children with one SHA-1 hash per child on every run -- the
+documented hot path.  :class:`MaterializedTree` performs that expansion
+exactly once, stores the nodes and per-node child counts in flat
+arrays, and then answers ``root()`` / ``children()`` / ``num_children()``
+by index lookup for every later run of the same :class:`TreeParams`.
+
+Layout (one breadth-first pass):
+
+* ``_nodes``   -- every node tuple, root first; the children of any
+  node occupy one contiguous slice (BFS appends them together).
+* ``_num``     -- ``array('i')`` child count per node index.
+* ``_first``   -- ``array('q')`` index of each node's first child.
+* ``_index``   -- node tuple -> node index.
+
+``children()`` is therefore a dict lookup plus a list slice -- no
+hashing -- and the whole structure is read-only after construction, so
+it is shared copy-on-write with forked sweep workers.
+
+Memory is bounded by :func:`node_cap` (default 2,000,000 nodes,
+override with ``REPRO_TREE_CACHE_CAP``; ``REPRO_TREE_CACHE=0``
+disables materialization entirely): :func:`materialize` falls back to
+returning the implicit :class:`Tree` when the expansion would exceed
+the cap, so near-critical trees degrade to on-the-fly generation
+instead of exhausting host memory.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Iterator, List, Optional
+
+from repro.uts.params import TreeParams
+from repro.uts.tree import Node, Tree
+
+__all__ = ["MaterializedTree", "materialize", "node_cap", "DEFAULT_NODE_CAP"]
+
+#: Default ceiling on materialized tree size (nodes).  A 2M-node
+#: binomial tree costs roughly 250 MB of node tuples + index; past
+#: that, on-the-fly generation is the right trade.
+DEFAULT_NODE_CAP = 2_000_000
+
+
+def node_cap() -> int:
+    """The active materialization cap (``REPRO_TREE_CACHE_CAP`` wins).
+
+    ``REPRO_TREE_CACHE=0`` disables materialization (cap of zero).
+    """
+    if os.environ.get("REPRO_TREE_CACHE", "1") == "0":
+        return 0
+    return int(os.environ.get("REPRO_TREE_CACHE_CAP", DEFAULT_NODE_CAP))
+
+
+class MaterializedTree:
+    """One fully-expanded UTS tree, served from flat arrays.
+
+    Drop-in for :class:`~repro.uts.tree.Tree` wherever a search space
+    is consumed (``root``/``children``/``num_children``/``iter_dfs``),
+    producing bit-identical node tuples.  Callers must treat the lists
+    returned by :meth:`children` as read-only (every built-in algorithm
+    does).
+    """
+
+    __slots__ = ("params", "engine", "_base", "_nodes", "_num", "_first",
+                 "_index", "n_nodes", "n_leaves", "max_depth")
+
+    def __init__(self, base: Tree, nodes: List[Node], num: array,
+                 first: array, index: dict) -> None:
+        self.params: TreeParams = base.params
+        self.engine = base.engine
+        self._base = base
+        self._nodes = nodes
+        self._num = num
+        self._first = first
+        self._index = index
+        self.n_nodes = len(nodes)
+        self.n_leaves = sum(1 for c in num if c == 0)
+        self.max_depth = max(h for _, h in nodes) if nodes else 0
+
+    @classmethod
+    def build(cls, params: TreeParams,
+              max_nodes: Optional[int] = None) -> Optional["MaterializedTree"]:
+        """Expand ``params`` in one pass; None if it exceeds ``max_nodes``."""
+        cap = node_cap() if max_nodes is None else max_nodes
+        if cap <= 0:
+            return None
+        base = Tree(params)
+        nodes: List[Node] = [base.root()]
+        num = array("i")
+        first = array("q")
+        index: dict = {}
+        children = base.children
+        i = 0
+        while i < len(nodes):
+            node = nodes[i]
+            kids = children(node)
+            index[node] = i
+            num.append(len(kids))
+            first.append(len(nodes))
+            nodes.extend(kids)
+            if len(nodes) > cap:
+                return None
+            i += 1
+        return cls(base, nodes, num, first, index)
+
+    def describe(self) -> str:
+        return self.params.describe()
+
+    # -- search-space protocol ----------------------------------------------
+
+    def root(self) -> Node:
+        return self._nodes[0]
+
+    def num_children(self, node: Node) -> int:
+        idx = self._index.get(node)
+        if idx is None:  # not part of this tree; derive on the fly
+            return self._base.num_children(node)
+        return self._num[idx]
+
+    def children(self, node: Node) -> list:
+        """Children of ``node`` as a fresh list (hot path, no hashing)."""
+        idx = self._index.get(node)
+        if idx is None:  # not part of this tree; derive on the fly
+            return self._base.children(node)
+        n = self._num[idx]
+        if not n:
+            return []
+        f = self._first[idx]
+        return self._nodes[f:f + n]
+
+    # -- fused exploration hook ----------------------------------------------
+
+    def batch_expand(self, local: list, limit: int, thresh: int) -> tuple:
+        """Run the DFS inner loop of ``AlgorithmBase.explore_batch``
+        directly against the flat arrays (one dict lookup per node, no
+        per-node ``children()`` call).  Must mirror the generic loop
+        exactly: same pop order, same early exits.  Returns
+        ``(visited, pushed)``.
+        """
+        index = self._index
+        num = self._num
+        first = self._first
+        nodes = self._nodes
+        base_children = self._base.children
+        pop = local.pop
+        extend = local.extend
+        n = 0
+        pushed = 0
+        while local and n < limit:
+            node = pop()
+            idx = index.get(node)
+            if idx is None:  # foreign node: derive on the fly
+                kids = base_children(node)
+                k = len(kids)
+                if k:
+                    extend(kids)
+            else:
+                k = num[idx]
+                if k:
+                    f = first[idx]
+                    extend(nodes[f:f + k])
+            pushed += k
+            n += 1
+            if len(local) >= thresh:
+                break
+        return n, pushed
+
+    # -- traversal helpers ----------------------------------------------------
+
+    def iter_dfs(self) -> Iterator[Node]:
+        """Depth-first iterator; identical sequence to ``Tree.iter_dfs``."""
+        stack = [self.root()]
+        pop = stack.pop
+        extend = stack.extend
+        children = self.children
+        while stack:
+            node = pop()
+            yield node
+            extend(children(node))
+
+
+def materialize(params: TreeParams, max_nodes: Optional[int] = None):
+    """Best-effort materialization of ``params``.
+
+    Returns a :class:`MaterializedTree` when the tree fits under the
+    node cap, or the implicit :class:`Tree` otherwise -- either way the
+    result serves the search-space protocol with identical nodes.
+    """
+    mat = MaterializedTree.build(params, max_nodes=max_nodes)
+    return mat if mat is not None else Tree(params)

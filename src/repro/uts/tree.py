@@ -27,7 +27,7 @@ class Tree:
     """Generator of one implicit UTS tree."""
 
     __slots__ = ("params", "engine", "_thresh", "_m", "_b0", "_is_binomial",
-                 "_gen_mx", "_geo_b0", "_geo_shape")
+                 "_gen_mx", "_geo_b0", "_geo_shape", "_geo_bf_cache")
 
     def __init__(self, params: TreeParams) -> None:
         self.params = params
@@ -40,6 +40,9 @@ class Tree:
         self._gen_mx = params.gen_mx
         self._geo_b0 = float(params.b0)
         self._geo_shape = params.geo_shape
+        #: depth -> branching factor; the factor is a pure function of
+        #: depth, but recomputing it costs a log/sin per node visit.
+        self._geo_bf_cache: dict = {}
 
     # -- node construction ---------------------------------------------------
 
@@ -56,8 +59,16 @@ class Tree:
         return self._geometric_children(state, height)
 
     def _geo_branching_factor(self, depth: int) -> float:
-        """Expected branching factor at ``depth`` per the UTS shape
-        functions (reference implementation's GEO variants)."""
+        """Expected branching factor at ``depth``, memoized per depth
+        (it is a pure function of depth)."""
+        bf = self._geo_bf_cache.get(depth)
+        if bf is None:
+            bf = self._geo_bf_cache[depth] = self._geo_bf_compute(depth)
+        return bf
+
+    def _geo_bf_compute(self, depth: int) -> float:
+        """Branching factor at ``depth`` per the UTS shape functions
+        (reference implementation's GEO variants)."""
         shape = self._geo_shape
         b0 = self._geo_b0
         mx = self._gen_mx

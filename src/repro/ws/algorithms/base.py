@@ -70,6 +70,10 @@ class AlgorithmBase:
             ThreadStats(rank=r, timer=StateTimer(WORKING if r == 0 else SEARCHING))
             for r in range(n)
         ]
+        #: Fused expansion hook: a materialized tree runs the DFS inner
+        #: loop against its flat arrays (bit-identical, no per-node
+        #: children() call); implicit trees use the generic loop below.
+        self._batch_expand = getattr(tree, "batch_expand", None)
         #: Chunks available per thread; NO_WORK when a thread is idle.
         self.work_avail = machine.shared_array("work_avail", init=NO_WORK)
         self.work_avail[0].poke(0)
@@ -107,9 +111,15 @@ class AlgorithmBase:
         """
         stack = self.stacks[rank]
         local = stack.local
-        children = self.tree.children
         limit = self.cfg.poll_interval
         thresh = self.cfg.release_threshold
+        if self._batch_expand is not None:
+            n, pushed = self._batch_expand(local, limit, thresh)
+            stack.pops += n
+            stack.pushes += pushed
+            self.stats[rank].nodes_visited += n
+            return n
+        children = self.tree.children
         n = 0
         pushed = 0
         while local and n < limit:

@@ -1,0 +1,154 @@
+"""Parallel sweep engine: determinism, failure identity, job plumbing."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SweepWorkerError
+from repro.harness.config import setup_for
+from repro.harness.parallel import (JobSpec, execute_jobs, expected_nodes_for,
+                                    fork_available, resolve_jobs, shared_tree)
+from repro.harness.sweep import run_sweep
+from repro.uts.materialized import MaterializedTree
+from repro.uts.params import TreeParams
+
+SETUP = setup_for("fig4", "test")
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="platform lacks fork")
+
+
+def _fingerprint(run):
+    """Everything a figure reads from a run (host timings excluded)."""
+    return (
+        run.algorithm, run.n_threads, run.chunk_size, run.machine_name,
+        run.tree_description, run.total_nodes, run.sim_time,
+        run.node_visit_time,
+        tuple(
+            (s.rank, s.nodes_visited, s.releases, s.reacquires, s.probes,
+             s.steal_attempts, s.steals_ok, s.chunks_stolen, s.nodes_stolen,
+             s.requests_granted, s.requests_denied, s.barrier_entries,
+             s.barrier_exits, s.msgs_sent, s.tokens_forwarded,
+             tuple(sorted(s.timer.times.items())))
+            for s in run.per_thread
+        ),
+    )
+
+
+@needs_fork
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(SETUP, jobs=1)
+        parallel = run_sweep(SETUP, jobs=4)
+        assert len(serial.runs) == len(parallel.runs) == (
+            len(SETUP.algorithms) * len(SETUP.thread_counts)
+            * len(SETUP.chunk_sizes))
+        for a, b in zip(serial.runs, parallel.runs):
+            assert _fingerprint(a) == _fingerprint(b)
+        assert serial.expected_nodes == parallel.expected_nodes
+
+    def test_grid_order_preserved(self):
+        parallel = run_sweep(SETUP, jobs=3)
+        expected_cells = [
+            (alg, threads, k)
+            for alg in SETUP.algorithms
+            for threads in SETUP.thread_counts
+            for k in SETUP.chunk_sizes
+        ]
+        got = [(r.algorithm, r.n_threads, r.chunk_size)
+               for r in parallel.runs]
+        assert got == expected_cells
+
+    def test_progress_reports_wall_clock_and_speedup(self):
+        lines = []
+        run_sweep(SETUP, jobs=2, progress=lines.append)
+        summary = lines[-1]
+        assert "host wall-clock" in summary
+        assert "speedup" in summary
+        assert "jobs=2" in summary
+
+
+class TestWorkerFailure:
+    def _bad_jobs(self):
+        expected = expected_nodes_for(SETUP.tree)
+        good = JobSpec(index=0, algorithm="upc-distmem", tree=SETUP.tree,
+                       threads=4, preset=SETUP.preset, chunk_size=4,
+                       expected_nodes=expected)
+        # threads=0 raises ConfigError inside the worker.
+        bad = JobSpec(index=1, algorithm="upc-term", tree=SETUP.tree,
+                      threads=0, preset=SETUP.preset, chunk_size=2,
+                      expected_nodes=expected)
+        return [good, bad]
+
+    def test_serial_failure_carries_identity(self):
+        with pytest.raises(SweepWorkerError) as err:
+            execute_jobs(self._bad_jobs(), n_jobs=1)
+        msg = str(err.value)
+        assert "upc-term" in msg and "T=0" in msg and "k=2" in msg
+        assert "ConfigError" in msg  # worker traceback included
+
+    @needs_fork
+    def test_parallel_failure_carries_identity(self):
+        with pytest.raises(SweepWorkerError) as err:
+            execute_jobs(self._bad_jobs(), n_jobs=2)
+        msg = str(err.value)
+        assert "upc-term" in msg and "T=0" in msg and "k=2" in msg
+
+    def test_verification_failure_surfaces(self):
+        job = JobSpec(index=0, algorithm="upc-distmem", tree=SETUP.tree,
+                      threads=2, preset=SETUP.preset, chunk_size=2,
+                      expected_nodes=12345)  # wrong oracle on purpose
+        with pytest.raises(SweepWorkerError, match="upc-distmem"):
+            execute_jobs([job], n_jobs=1)
+
+
+class TestPlumbing:
+    def test_jobspec_picklable(self):
+        job = JobSpec(index=3, algorithm="mpi-ws", tree=SETUP.tree,
+                      threads=8, preset="topsail", chunk_size=16,
+                      expected_nodes=99)
+        assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_run_result_picklable(self):
+        run = execute_jobs([JobSpec(
+            index=0, algorithm="upc-distmem", tree=SETUP.tree, threads=2,
+            preset=SETUP.preset, chunk_size=4,
+            expected_nodes=expected_nodes_for(SETUP.tree))], n_jobs=1)[0]
+        clone = pickle.loads(pickle.dumps(run))
+        assert _fingerprint(clone) == _fingerprint(run)
+
+    def test_resolve_jobs_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(5) == 5
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(2) == 2  # explicit argument wins
+        import os
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_cost_hint_orders_small_k_first(self):
+        mk = lambda alg, k: JobSpec(index=0, algorithm=alg, tree=SETUP.tree,
+                                    threads=8, preset="kittyhawk",
+                                    chunk_size=k)
+        assert mk("upc-distmem", 1).cost_hint() > \
+            mk("upc-distmem", 64).cost_hint()
+        assert mk("upc-sharedmem", 1).cost_hint() > \
+            mk("upc-distmem", 1).cost_hint()
+
+    def test_shared_tree_memoized_and_materialized(self):
+        a = shared_tree(SETUP.tree)
+        assert shared_tree(SETUP.tree) is a
+        assert isinstance(a, MaterializedTree)
+        assert expected_nodes_for(SETUP.tree) == a.n_nodes
+
+    def test_empty_job_list(self):
+        assert execute_jobs([], n_jobs=4) == []
+
+
+class TestSharedTreeInRunner:
+    def test_tree_for_reuses_instance(self):
+        from repro.harness.runner import tree_for
+
+        params = TreeParams.binomial(b0=11, q=0.3, seed=42)
+        assert tree_for(params) is tree_for(params)

@@ -1,0 +1,120 @@
+"""MaterializedTree must be indistinguishable from the implicit Tree."""
+
+import pytest
+
+from repro.uts import Tree, TreeParams
+from repro.uts.materialized import (DEFAULT_NODE_CAP, MaterializedTree,
+                                    materialize, node_cap)
+
+BINOMIAL = TreeParams.binomial(b0=25, m=2, q=0.44, seed=7)
+GEOMETRIC = TreeParams.geometric(b0=3, gen_mx=5, seed=0)
+GEO_CYCLIC = TreeParams.geometric(b0=2, gen_mx=4, seed=1, geo_shape="cyclic")
+SPLITMIX = TreeParams.binomial(b0=20, m=2, q=0.4, seed=3, engine="splitmix")
+
+ALL_SHAPES = [BINOMIAL, GEOMETRIC, GEO_CYCLIC, SPLITMIX]
+
+
+@pytest.mark.parametrize("params", ALL_SHAPES,
+                         ids=lambda p: f"{p.shape}-{p.engine}-{p.geo_shape}")
+class TestEquivalence:
+    def test_identical_dfs_sequence(self, params):
+        implicit = Tree(params)
+        mat = materialize(params)
+        assert isinstance(mat, MaterializedTree)
+        assert list(mat.iter_dfs()) == list(implicit.iter_dfs())
+
+    def test_identical_children_everywhere(self, params):
+        implicit = Tree(params)
+        mat = materialize(params)
+        for node in implicit.iter_dfs():
+            assert mat.children(node) == implicit.children(node)
+            assert mat.num_children(node) == implicit.num_children(node)
+
+    def test_root_identical(self, params):
+        assert materialize(params).root() == Tree(params).root()
+
+    def test_describe_identical(self, params):
+        assert materialize(params).describe() == params.describe()
+
+
+class TestStats:
+    def test_node_count_matches_sequential(self):
+        from repro.uts import count_tree
+
+        stats = count_tree(BINOMIAL)
+        mat = materialize(BINOMIAL)
+        assert mat.n_nodes == stats.n_nodes
+        assert mat.n_leaves == stats.n_leaves
+        assert mat.max_depth == stats.max_depth
+
+
+class TestFallback:
+    def test_build_over_cap_returns_none(self):
+        assert MaterializedTree.build(BINOMIAL, max_nodes=10) is None
+
+    def test_materialize_over_cap_returns_implicit_tree(self):
+        tree = materialize(BINOMIAL, max_nodes=10)
+        assert isinstance(tree, Tree)
+        # Still a fully functional search space.
+        assert len(tree.children(tree.root())) == BINOMIAL.b0
+
+    def test_cache_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TREE_CACHE", "0")
+        assert node_cap() == 0
+        assert isinstance(materialize(BINOMIAL), Tree)
+
+    def test_cap_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TREE_CACHE_CAP", "17")
+        assert node_cap() == 17
+        monkeypatch.delenv("REPRO_TREE_CACHE_CAP")
+        assert node_cap() == DEFAULT_NODE_CAP
+
+    def test_foreign_node_delegates_to_implicit(self):
+        """A node from a different tree still expands correctly."""
+        mat = materialize(BINOMIAL)
+        other = Tree(BINOMIAL.with_seed(12345))
+        foreign = other.root()
+        assert mat.children(foreign) == other.children(foreign)
+        assert mat.num_children(foreign) == other.num_children(foreign)
+
+
+class TestBatchExpand:
+    def test_matches_generic_loop(self):
+        """batch_expand must mirror AlgorithmBase.explore_batch exactly."""
+        implicit = Tree(BINOMIAL)
+        mat = materialize(BINOMIAL)
+        for limit, thresh in [(1, 4), (32, 8), (32, 10**9), (5, 2)]:
+            a = [implicit.root()]
+            b = [mat.root()]
+            while a:
+                # Generic loop (copied semantics from explore_batch).
+                n = pushed = 0
+                while a and n < limit:
+                    kids = implicit.children(a.pop())
+                    if kids:
+                        a.extend(kids)
+                        pushed += len(kids)
+                    n += 1
+                    if len(a) >= thresh:
+                        break
+                n2, pushed2 = mat.batch_expand(b, limit, thresh)
+                assert (n, pushed) == (n2, pushed2)
+                assert a == b
+
+
+class TestGeoMemoization:
+    def test_branching_factor_memoized(self):
+        tree = Tree(GEO_CYCLIC)
+        assert tree._geo_bf_cache == {}
+        first = tree._geo_branching_factor(3)
+        assert tree._geo_bf_cache == {3: first}
+        # Cached value is served (poison the compute path to prove it).
+        tree._geo_bf_cache[3] = 99.0
+        assert tree._geo_branching_factor(3) == 99.0
+
+    def test_memoized_values_correct(self):
+        for params in (GEOMETRIC, GEO_CYCLIC):
+            tree = Tree(params)
+            for depth in range(0, 25):
+                assert (tree._geo_branching_factor(depth)
+                        == tree._geo_bf_compute(depth))

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Measure the sweep engine: seed-style serial vs cached vs parallel.
+
+Runs the Figure-4 sweep three ways and writes ``BENCH_sweep.json``:
+
+* ``seed_serial``   -- tree cache disabled, one process (the code path
+  the repository shipped with: every run re-expands the tree).
+* ``cached_serial`` -- shared materialized tree, one process.
+* ``parallel``      -- shared materialized tree + ``--jobs N`` workers.
+
+All three produce bit-identical ``RunResult`` data; the JSON records
+host wall-clock seconds, aggregate engine events/sec, and the speedups
+of the two new paths over the seed path, plus enough host context
+(CPU count) to interpret them.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sweep.py --scale quick --jobs 4 \
+        --out BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.config import setup_for  # noqa: E402
+from repro.harness.sweep import run_sweep  # noqa: E402
+
+
+def _measure(setup, jobs):
+    import repro.harness.parallel as parallel
+
+    parallel._PROCESS_TREES.clear()
+    t0 = time.perf_counter()
+    sweep = run_sweep(setup, jobs=jobs)
+    wall = time.perf_counter() - t0
+    events = sum(r.engine_events for r in sweep.runs)
+    return {
+        "wall_seconds": round(wall, 3),
+        "runs": len(sweep.runs),
+        "engine_events": events,
+        "events_per_sec": round(events / wall, 1),
+        "in_run_host_seconds": round(
+            sum(r.host_seconds for r in sweep.runs), 3),
+        "jobs": jobs,
+    }, sweep
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--figure", default="fig4")
+    ap.add_argument("--scale", default="quick")
+    ap.add_argument("--jobs", type=int, default=4)
+    ap.add_argument("--out", default="BENCH_sweep.json")
+    args = ap.parse_args(argv)
+
+    setup = setup_for(args.figure, args.scale)
+    print(f"benchmarking {setup.describe()}", flush=True)
+
+    os.environ["REPRO_TREE_CACHE"] = "0"
+    seed, seed_sweep = _measure(setup, jobs=1)
+    print(f"seed-style serial : {seed['wall_seconds']:.1f}s", flush=True)
+    os.environ.pop("REPRO_TREE_CACHE")
+
+    cached, cached_sweep = _measure(setup, jobs=1)
+    print(f"cached serial     : {cached['wall_seconds']:.1f}s", flush=True)
+
+    par, par_sweep = _measure(setup, jobs=args.jobs)
+    print(f"parallel jobs={args.jobs:<2d}  : {par['wall_seconds']:.1f}s",
+          flush=True)
+
+    for name, sweep in (("cached", cached_sweep), ("parallel", par_sweep)):
+        for a, b in zip(seed_sweep.runs, sweep.runs):
+            if (a.total_nodes, a.sim_time) != (b.total_nodes, b.sim_time):
+                raise SystemExit(f"{name} results differ from seed path!")
+
+    report = {
+        "benchmark": f"{args.figure}[{args.scale}] sweep",
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "seed_serial": seed,
+        "cached_serial": cached,
+        "parallel": par,
+        "speedup_cached_vs_seed": round(
+            seed["wall_seconds"] / cached["wall_seconds"], 3),
+        "speedup_parallel_vs_seed": round(
+            seed["wall_seconds"] / par["wall_seconds"], 3),
+        "results_identical": True,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    print(f"speedup cached={report['speedup_cached_vs_seed']}x "
+          f"parallel={report['speedup_parallel_vs_seed']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
