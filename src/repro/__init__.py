@@ -31,6 +31,7 @@ from repro.errors import (
     SimulationError,
     SweepWorkerError,
 )
+from repro.faults import FaultCounters, FaultPlan, parse_fault_spec
 from repro.harness.runner import expected_node_count, run_experiment
 from repro.harness.sweep import run_sweep
 from repro.metrics import RunResult
@@ -60,6 +61,9 @@ __all__ = [
     "ALTIX",
     "SHAREDMEM",
     "WsConfig",
+    "FaultPlan",
+    "FaultCounters",
+    "parse_fault_spec",
     "ALGORITHMS",
     "FIGURE_ORDER",
     "get_algorithm",

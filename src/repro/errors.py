@@ -23,6 +23,16 @@ class EventLimitExceeded(SimulationError):
     """
 
 
+class ThreadKilled(ReproError):
+    """Thrown into a UPC thread's generator to fail-stop it.
+
+    Injected by the fault layer's kill watchdog via
+    :meth:`repro.sim.engine.Simulator.interrupt`; algorithm mains run
+    under a guard that catches it and hands the corpse's work to the
+    loss accountant.
+    """
+
+
 class ProtocolError(ReproError):
     """A load-balancing protocol violated one of its invariants."""
 

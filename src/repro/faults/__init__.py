@@ -1,0 +1,15 @@
+"""Deterministic fault injection + recovery support.
+
+Public surface: :class:`~repro.faults.plan.FaultPlan` (what can go
+wrong, seed-driven), :func:`~repro.faults.plan.parse_fault_spec` (the
+``--faults`` CLI grammar), :class:`~repro.faults.counters.FaultCounters`
+(per-fault-type metrics on ``RunResult``), and
+:class:`~repro.faults.runtime.FaultRuntime` (the live injector wired
+into a :class:`~repro.pgas.machine.Machine`).
+"""
+
+from repro.faults.counters import FaultCounters
+from repro.faults.plan import FaultPlan, parse_fault_spec
+from repro.faults.runtime import FaultRuntime
+
+__all__ = ["FaultPlan", "FaultCounters", "FaultRuntime", "parse_fault_spec"]

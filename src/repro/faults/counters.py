@@ -1,0 +1,67 @@
+"""Per-fault-type counters: the fault layer's contribution to metrics.
+
+One :class:`FaultCounters` instance per faulted run, carried on
+:class:`~repro.metrics.report.RunResult`.  Every injected fault and
+every recovery action increments exactly one counter here, so a test
+(or the CI fault matrix) can assert not just that a run survived but
+*which* mechanisms fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["FaultCounters"]
+
+
+@dataclass
+class FaultCounters:
+    """Counts of injected faults and recovery actions for one run."""
+
+    # -- injected faults ---------------------------------------------------
+    #: Control messages silently discarded in flight.
+    msgs_dropped: int = 0
+    #: Messages delivered twice (original + late copy).
+    msgs_duplicated: int = 0
+    #: Messages whose arrival was pushed past the network's transit time.
+    msgs_delayed: int = 0
+    #: Messages addressed to an already-dead rank (discarded).
+    msgs_to_dead: int = 0
+    #: Extra hold time injected into lock releases.
+    lock_stalls: int = 0
+    #: Stale-read windows opened by writes to staleable shared variables.
+    stale_windows: int = 0
+    #: Remote reads that observed a stale (pre-write) value.
+    stale_reads: int = 0
+    #: Threads fail-stopped by the kill schedule.
+    threads_killed: int = 0
+
+    # -- recovery actions --------------------------------------------------
+    #: Steal transactions abandoned after their timeout elapsed.
+    steal_timeouts: int = 0
+    #: Duplicate steal requests suppressed by sequence numbers.
+    dup_requests_suppressed: int = 0
+    #: Steal responses discarded as stale (sequence mismatch).
+    stale_responses: int = 0
+    #: Termination tokens relaunched after a ring timeout.
+    token_relaunches: int = 0
+    #: Tokens discarded because their round number was superseded.
+    stale_tokens: int = 0
+    #: Ranks declared dead by the heartbeat monitor.
+    heartbeat_suspicions: int = 0
+
+    # -- accounting --------------------------------------------------------
+    #: Conservation-ledger assertions executed inside the simulation.
+    invariant_checks: int = 0
+    #: Node descriptors lost to fail-stop faults (stack + in-flight).
+    lost_nodes: int = 0
+    #: Total subtree size under the lost descriptors: the exact gap
+    #: between the parallel count and the sequential oracle.
+    lost_work: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def nonzero(self) -> dict:
+        """Only the counters that fired (for compact reports)."""
+        return {k: v for k, v in self.as_dict().items() if v}

@@ -1,0 +1,61 @@
+"""Fault-injection random stream (SplitMix64).
+
+The fault layer must not perturb any existing random stream: the tree's
+SHA-1/geometric spawn decisions and the probe orders both draw from
+:mod:`repro.sim.rng`, and a fault plan with every rate at zero has to
+leave those streams untouched.  So faults get their own generator -- a
+SplitMix64, the same tiny mixer UTS itself offers as an engine -- with
+one *named substream* per fault category.  Draws in one category
+(message drops, say) then never shift the draws of another (lock
+stalls), which keeps per-category behaviour stable when a plan enables
+categories incrementally.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["SplitMix64", "substream"]
+
+_MASK = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class SplitMix64:
+    """Tiny deterministic 64-bit generator (Steele et al., OOPSLA'14)."""
+
+    __slots__ = ("_state", "draws")
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK
+        #: Draws taken so far (diagnostics; lets tests prove alignment).
+        self.draws = 0
+
+    def next_u64(self) -> int:
+        self._state = (self._state + _GOLDEN) & _MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        self.draws += 1
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of entropy."""
+        return (self.next_u64() >> 11) * (2.0 ** -53)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return lo + (hi - lo) * self.random()
+
+    def chance(self, p: float) -> bool:
+        """One Bernoulli draw (always consumes exactly one value)."""
+        return self.random() < p
+
+
+def substream(seed: int, category: str) -> SplitMix64:
+    """An independent stream for one fault category.
+
+    The category name is folded into the seed with a CRC so streams for
+    different categories are decorrelated even for adjacent seeds.
+    """
+    tag = zlib.crc32(category.encode("utf-8"))
+    return SplitMix64((seed * 0x2545F4914F6CDD1D + tag) & _MASK)

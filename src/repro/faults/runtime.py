@@ -1,0 +1,312 @@
+"""Fault-injection runtime: the live side of a :class:`FaultPlan`.
+
+One :class:`FaultRuntime` per faulted run.  It is installed on the
+machine (``machine.faults``) before the algorithm is constructed, so
+every hook site -- message routing in :mod:`repro.msg.comm`, lock
+release in :class:`~repro.pgas.machine.UpcContext`, staleable shared
+variables, the kill watchdogs -- reaches it through one attribute test
+that is ``None`` (and therefore free) on fault-free runs.
+
+Responsibilities:
+
+* roll injected faults from per-category SplitMix64 substreams
+  (:func:`repro.faults.rng.substream`) so categories never perturb
+  each other's draws;
+* run the fail-stop machinery: kill watchdogs, heartbeat epochs, and
+  the death bookkeeping that keeps the node-conservation ledger exact
+  when a thread dies with work on its stack or in flight;
+* run the in-simulation conservation checker, which asserts
+
+      sum(stack.total_nodes)
+          == sum(pushes) - sum(pops) - sum(stolen_from_me) - lost_from_stacks
+
+  at every check period.  Every protocol transition (expand, steal,
+  transfer, death accounting) preserves this ledger atomically between
+  yields, so a violation is a genuine protocol bug, not a race with
+  the checker.
+
+This module must not import ``repro.ws`` at module level: it is
+imported by ``repro.ws.config`` (via ``repro.faults.plan``), and a
+module-level back-import would create a cycle.  The algorithm object is
+injected with :meth:`attach` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, List, Optional
+
+from repro.errors import ConfigError, ProtocolError, ThreadKilled
+from repro.faults.counters import FaultCounters
+from repro.faults.plan import FaultPlan
+from repro.faults.rng import substream
+from repro.sim.engine import Timeout
+
+__all__ = ["FaultRuntime"]
+
+#: ``work_avail`` sentinel (== repro.ws.algorithms.base.NO_WORK; literal
+#: here to avoid the import cycle described in the module docstring).
+_NO_WORK = -1
+
+
+class FaultRuntime:
+    """Per-run fault injector, failure detector, and loss accountant."""
+
+    def __init__(self, plan: FaultPlan, machine) -> None:
+        n = machine.n_threads
+        for rank in plan.kill_ranks + plan.slow_ranks:
+            if rank >= n:
+                raise ConfigError(
+                    f"fault plan names rank {rank} but the machine has "
+                    f"only {n} thread(s)")
+        self.plan = plan
+        self.machine = machine
+        self.counters = FaultCounters()
+        self.algo = None  # injected by attach()
+        # Per-category random substreams: enabling one fault category
+        # never shifts another category's draws.
+        seed = plan.seed
+        self._drop = substream(seed, "msg.drop")
+        self._dup = substream(seed, "msg.dup")
+        self._delay = substream(seed, "msg.delay")
+        self._stall = substream(seed, "lock.stall")
+        self._stale = substream(seed, "shared.stale")
+        # Failure-detector state.
+        self.dead: set[int] = set()
+        self.last_beat = [0.0] * n
+        self._suspicion_seen: set[int] = set()
+        # Loss accounting.
+        self.lost_descriptors: List[Any] = []
+        self._lost_stack_nodes = 0
+        # Open work transfers: rank -> nodes it popped from a victim's
+        # shared region but has not yet handed over (at most one per
+        # rank: the transfer lives in that rank's generator frame).
+        self._open_transfer: dict[int, List[Any]] = {}
+        # Granted-but-unfetched steal responses: thief rank -> nodes.
+        self._responses: dict[int, List[Any]] = {}
+        # Thread slowdowns apply from the first instruction.
+        for rank in plan.slow_ranks:
+            machine.contexts[rank]._slow = plan.slow_factor
+
+    def attach(self, algo) -> None:
+        """Bind the algorithm instance (after its construction)."""
+        self.algo = algo
+
+    @property
+    def watching_deaths(self) -> bool:
+        return self.plan.has_kills
+
+    # -- message faults ----------------------------------------------------
+
+    def route_message(self, msg) -> List[Any]:
+        """Decide a posted message's fate; returns deliveries (0..2)."""
+        if msg.dst in self.dead:
+            self.counters.msgs_to_dead += 1
+            self.algo.on_msg_to_dead(msg)
+            return []
+        plan = self.plan
+        if (plan.msg_drop_rate > 0.0
+                and msg.tag in self.algo.droppable_tags
+                and self._drop.chance(plan.msg_drop_rate)):
+            self.counters.msgs_dropped += 1
+            return []
+        if (plan.msg_delay_rate > 0.0
+                and self._delay.chance(plan.msg_delay_rate)):
+            extra = self._delay.uniform(0.0, plan.msg_delay_max)
+            msg = replace(msg, arrival_time=msg.arrival_time + extra)
+            self.counters.msgs_delayed += 1
+        out = [msg]
+        if (plan.msg_dup_rate > 0.0
+                and msg.tag in self.algo.duplicable_tags
+                and self._dup.chance(plan.msg_dup_rate)):
+            late = self._dup.uniform(0.0, plan.msg_delay_max)
+            out.append(replace(msg, arrival_time=msg.arrival_time + late))
+            self.counters.msgs_duplicated += 1
+        return out
+
+    # -- timing faults -----------------------------------------------------
+
+    def roll_lock_stall(self) -> float:
+        """Extra hold time to inject into the current lock release."""
+        plan = self.plan
+        if plan.lock_stall_rate > 0.0 and self._stall.chance(plan.lock_stall_rate):
+            self.counters.lock_stalls += 1
+            return plan.lock_stall_time
+        return 0.0
+
+    def on_staleable_write(self, var) -> None:
+        """Maybe open a stale-visibility window over ``var``'s old value."""
+        plan = self.plan
+        if plan.stale_read_rate > 0.0 and self._stale.chance(plan.stale_read_rate):
+            var.stale_value = var.value
+            var.stale_until = self.machine.sim.now + plan.stale_read_window
+            self.counters.stale_windows += 1
+
+    # -- failure detection -------------------------------------------------
+
+    def suspected(self, rank: int) -> bool:
+        """Has the failure detector declared ``rank`` dead?
+
+        Suspicion is *accurate by construction* (a rank is only
+        suspected if it actually fail-stopped) but *late by design*:
+        the detector needs ``heartbeat_miss`` silent epochs, modelling
+        the detection latency a real heartbeat scheme pays.
+        """
+        if rank not in self.dead:
+            return False
+        if self.machine.sim.now - self.last_beat[rank] < self.plan.suspect_after:
+            return False
+        if rank not in self._suspicion_seen:
+            self._suspicion_seen.add(rank)
+            self.counters.heartbeat_suspicions += 1
+        return True
+
+    # -- work-transfer journal ---------------------------------------------
+
+    def begin_transfer(self, rank: int, nodes: List[Any]) -> None:
+        """``rank`` holds ``nodes`` mid-transfer in its generator frame."""
+        self._open_transfer[rank] = nodes
+
+    def end_transfer(self, rank: int) -> None:
+        self._open_transfer.pop(rank, None)
+
+    def register_response(self, thief: int, nodes: List[Any]) -> None:
+        """Work granted to ``thief`` but not yet pushed on its stack."""
+        self._responses[thief] = nodes
+
+    def clear_response(self, thief: int) -> None:
+        self._responses.pop(thief, None)
+
+    # -- loss accounting ---------------------------------------------------
+
+    def account_lost(self, nodes: List[Any], on_stack: bool = False) -> None:
+        """Record node descriptors destroyed by a fail-stop fault."""
+        self.lost_descriptors.extend(nodes)
+        self.counters.lost_nodes += len(nodes)
+        if on_stack:
+            self._lost_stack_nodes += len(nodes)
+
+    def on_thread_death(self, rank: int) -> None:
+        """Account a fail-stopped thread's work; keep the ledger exact.
+
+        Called synchronously at the kill instant (from the dying
+        thread's ``ThreadKilled`` handler, or from the watchdog if the
+        thread never started), so all adjustments land atomically.
+        """
+        algo = self.algo
+        self.dead.add(rank)
+        self.counters.threads_killed += 1
+        # A transfer open in the dead thread's frame: the nodes were
+        # popped from a victim and exist only in the corpse.
+        nodes = self._open_transfer.pop(rank, None)
+        if nodes:
+            algo.in_flight_nodes -= len(nodes)
+            self.account_lost(nodes)
+        # Work granted *to* the dead thread that it never fetched.
+        nodes = self._responses.pop(rank, None)
+        if nodes:
+            algo.in_flight_nodes -= len(nodes)
+            self.account_lost(nodes)
+        # Everything still on the dead thread's stack is lost.
+        stack = algo.stacks[rank]
+        orphans = list(stack.local)
+        for chunk in stack.shared:
+            orphans.extend(chunk)
+        if orphans:
+            stack.local.clear()
+            stack.shared.clear()
+            self.account_lost(orphans, on_stack=True)
+        # Advertise NO_WORK so probes route around the corpse, and free
+        # any lock the corpse held or queued for.
+        algo.work_avail[rank].poke(_NO_WORK)
+        for lk in self.machine._locks:
+            lk.on_thread_death(rank)
+        algo.on_thread_death(rank)
+
+    # -- conservation ------------------------------------------------------
+
+    def check_conservation(self) -> None:
+        """Assert the node-conservation ledger (see module docstring)."""
+        algo = self.algo
+        total = pushes = pops = stolen = 0
+        for stack in algo.stacks:
+            total += stack.total_nodes
+            pushes += stack.pushes
+            pops += stack.pops
+            stolen += stack.stolen_from_me_nodes
+        expected = pushes - pops - stolen - self._lost_stack_nodes
+        if total != expected:
+            raise ProtocolError(
+                f"conservation violated at t={self.machine.sim.now:.6f}: "
+                f"stacks hold {total} node(s) but ledger expects {expected} "
+                f"(pushes={pushes} pops={pops} stolen={stolen} "
+                f"lost_from_stacks={self._lost_stack_nodes})")
+        if algo.in_flight_nodes < 0:
+            raise ProtocolError(
+                f"in_flight_nodes went negative "
+                f"({algo.in_flight_nodes}) at t={self.machine.sim.now:.6f}")
+        self.counters.invariant_checks += 1
+
+    def lost_work_total(self, tree) -> int:
+        """Exact subtree size under every lost descriptor.
+
+        A lost node was never visited, so none of its descendants were
+        ever generated -- the lost subtrees are disjoint and their
+        total is exactly the gap to the sequential oracle.
+        """
+        children = tree.children
+        total = 0
+        for root in self.lost_descriptors:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                total += 1
+                stack.extend(children(node))
+        self.counters.lost_work = total
+        return total
+
+    # -- background processes ----------------------------------------------
+
+    def start(self) -> None:
+        """Spawn watchdogs after the worker threads (order is fixed for
+        determinism): kill timers, heartbeats, and the ledger checker."""
+        sim = self.machine.sim
+        procs = list(self.machine._procs)
+
+        def threads_running() -> bool:
+            return any(p.alive for p in procs)
+
+        def kill_watch(rank: int, t_kill: float):
+            # Sleep in heartbeat-sized steps so a run that finishes
+            # before the kill time is not held open until t_kill.
+            step = self.plan.heartbeat_period
+            while sim.now < t_kill:
+                if not threads_running():
+                    return
+                yield Timeout(min(step, t_kill - sim.now))
+            target = procs[rank]
+            if target.alive:
+                sim.interrupt(target, ThreadKilled(
+                    f"T{rank} fail-stopped at t={sim.now:.6f}"))
+            if rank not in self.dead:
+                # The body never ran its ThreadKilled handler (killed
+                # before its first instruction): account here.
+                self.on_thread_death(rank)
+
+        def heartbeat(rank: int):
+            target = procs[rank]
+            while target.alive:
+                self.last_beat[rank] = sim.now
+                yield Timeout(self.plan.heartbeat_period)
+
+        def checker():
+            while threads_running():
+                self.check_conservation()
+                yield Timeout(self.plan.check_period)
+
+        for rank, t_kill in zip(self.plan.kill_ranks, self.plan.kill_times):
+            sim.spawn(kill_watch(rank, t_kill), name=f"faults.kill[T{rank}]")
+        if self.plan.has_kills:
+            for rank in range(self.machine.n_threads):
+                sim.spawn(heartbeat(rank), name=f"faults.beat[T{rank}]")
+        sim.spawn(checker(), name="faults.checker")

@@ -46,6 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default="sha1",
                        choices=["sha1", "sha1-pure", "splitmix"])
     run_p.add_argument("--no-verify", action="store_true")
+    run_p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault injection, e.g. "
+             "'drop=0.05,dup=0.02,delay=0.1' or 'kill=3@2ms,kill=5@4ms' "
+             "or 'stall=0.1,stale=0.05' (see docs/fault-model.md)")
+    run_p.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for the fault plan's own random streams (independent "
+             "of the tree and probe-order seeds)")
 
     for fig in ("fig4", "fig5", "fig6", "ablation", "claims", "all"):
         fp = sub.add_parser(fig, help=f"reproduce {fig}")
@@ -90,11 +99,22 @@ def _echo(line: str) -> None:
 def _run_single(args: argparse.Namespace) -> int:
     tree = TreeParams.binomial(b0=args.b0, q=args.q, seed=args.tree_seed,
                                engine=args.engine)
+    plan = None
+    if args.faults:
+        from repro.faults import parse_fault_spec
+
+        plan = parse_fault_spec(args.faults, seed=args.fault_seed)
     res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
                          preset=args.preset, chunk_size=args.chunk_size,
-                         verify=not args.no_verify)
+                         verify=not args.no_verify, faults=plan)
     print(res.summary())
     print(f"working-state share: {100 * res.working_fraction:.1f}%")
+    if res.fault_counters is not None:
+        print(f"lost work: {res.lost_work} node(s)")
+        nz = res.fault_counters.nonzero()
+        if nz:
+            print("fault counters: "
+                  + " ".join(f"{k}={v}" for k, v in sorted(nz.items())))
     return 0
 
 

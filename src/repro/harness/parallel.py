@@ -21,7 +21,17 @@ executes the grid over a ``ProcessPoolExecutor``:
   and pay a full sequential recount per process.
 * **Attributable failures** -- worker exceptions are captured with the
   job's identity and re-raised in the parent as
-  :class:`~repro.errors.SweepWorkerError`.
+  :class:`~repro.errors.SweepWorkerError` (chained via ``raise ...
+  from`` where the original exception object is available, i.e. on the
+  serial path).  A failed job is retried once in-process first: the
+  simulations are deterministic, so a genuine protocol bug fails
+  identically, but transient host trouble gets a second chance before
+  a long sweep is abandoned.
+* **Wall-clock deadline** -- ``REPRO_JOB_TIMEOUT`` (seconds) bounds
+  each job attempt; an overrunning simulation is interrupted via
+  ``SIGALRM`` and surfaces as an attributable :class:`JobTimeout`
+  instead of a silent hang.  Timeouts are *not* retried (a
+  deterministic overrun would just overrun again).
 * **Graceful fallback** -- ``jobs=1``, a single-cell grid, or a
   platform without ``fork`` all run the exact same job list serially
   in-process.
@@ -34,19 +44,23 @@ the ``REPRO_JOBS`` environment variable, else 1.  ``jobs=0`` means
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import SweepWorkerError
+from repro.errors import ConfigError, SweepWorkerError
 from repro.metrics.report import RunResult
 from repro.uts.materialized import MaterializedTree, materialize
 from repro.uts.params import TreeParams
 from repro.ws.config import WsConfig
 
-__all__ = ["JobSpec", "execute_jobs", "resolve_jobs", "shared_tree",
-           "expected_nodes_for", "fork_available"]
+__all__ = ["JobSpec", "JobTimeout", "execute_jobs", "job_timeout",
+           "resolve_jobs", "shared_tree", "expected_nodes_for",
+           "fork_available"]
 
 Progress = Optional[Callable[[str], None]]
 
@@ -77,12 +91,51 @@ def expected_nodes_for(params: TreeParams) -> int:
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument > ``REPRO_JOBS`` env var > 1."""
+    """Worker count: explicit argument > ``REPRO_JOBS`` env var > 1.
+
+    ``0`` (argument or env var) means "one per CPU".  A ``REPRO_JOBS``
+    value that is not an integer, or is negative, raises
+    :class:`~repro.errors.ConfigError` naming the offending value --
+    a typo'd environment must not silently degrade a sweep to one
+    worker (or quietly mean "all CPUs").
+    """
     if jobs is None:
-        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        raw = os.environ.get("REPRO_JOBS", "1").strip()
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_JOBS={raw!r} is not an integer "
+                "(expected a worker count; 0 = one per CPU)") from None
+        if jobs < 0:
+            raise ConfigError(
+                f"REPRO_JOBS={raw!r} is negative "
+                "(expected a worker count; 0 = one per CPU)")
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def job_timeout() -> float:
+    """Per-attempt wall-clock limit in seconds from ``REPRO_JOB_TIMEOUT``.
+
+    Unset, empty, or ``0`` means no limit.  Non-numeric or negative
+    values raise :class:`~repro.errors.ConfigError`.
+    """
+    raw = os.environ.get("REPRO_JOB_TIMEOUT", "").strip()
+    if not raw:
+        return 0.0
+    try:
+        limit = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_JOB_TIMEOUT={raw!r} is not a number "
+            "(expected seconds; 0 = no limit)") from None
+    if limit < 0:
+        raise ConfigError(
+            f"REPRO_JOB_TIMEOUT={raw!r} is negative "
+            "(expected seconds; 0 = no limit)")
+    return limit
 
 
 def fork_available() -> bool:
@@ -150,18 +203,79 @@ def _execute_job(job: JobSpec) -> RunResult:
     return result
 
 
+class JobTimeout(Exception):
+    """A sweep job attempt exceeded ``REPRO_JOB_TIMEOUT`` seconds."""
+
+
+#: Jobs (in this process) that needed the one-shot in-process retry.
+#: Diagnostic and test hook; per-process, so pool workers each count
+#: their own.
+retried_jobs = 0
+
+
+@contextmanager
+def _deadline(limit: float, job: JobSpec):
+    """Interrupt the block with :class:`JobTimeout` after ``limit`` s.
+
+    Uses ``SIGALRM``, so it only engages on the main thread (both the
+    serial path and ``ProcessPoolExecutor`` fork-workers run jobs
+    there); elsewhere -- or with no limit -- it is a no-op.
+    """
+    if limit <= 0 or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(
+            f"job exceeded REPRO_JOB_TIMEOUT={limit:g}s: {job.describe()}")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_job(job: JobSpec) -> RunResult:
+    """Run one job under the deadline, retrying a failure once.
+
+    The simulations are deterministic, so a real protocol bug fails
+    the same way twice and the retry costs nothing extra in diagnosis
+    (both tracebacks surface, chained); a transient host problem --
+    stray signal, memory pressure -- does not abort a long sweep.
+    Timeouts are not retried: a deterministic overrun would only
+    overrun again and double the wasted wall-clock.
+    """
+    global retried_jobs
+    limit = job_timeout()
+    try:
+        with _deadline(limit, job):
+            return _execute_job(job)
+    except JobTimeout:
+        raise
+    except Exception:
+        retried_jobs += 1
+        with _deadline(limit, job):
+            return _execute_job(job)
+
+
 def _worker(job: JobSpec):
     """Pool entry point: never raises, tags outcomes with job identity."""
     try:
-        return ("ok", job.index, _execute_job(job))
+        return ("ok", job.index, _attempt_job(job))
     except BaseException:
         return ("err", job.index, job.describe(), traceback.format_exc())
 
 
-def _raise_worker_error(described: str, tb: str) -> None:
+def _raise_worker_error(described: str, tb: str,
+                        cause: Optional[BaseException] = None) -> None:
+    # `cause` is only available on the serial path; across the pool's
+    # pickle boundary the traceback travels as text instead.
     raise SweepWorkerError(
         f"sweep job failed: {described}\n--- worker traceback ---\n{tb}"
-    )
+    ) from cause
 
 
 def execute_jobs(jobs: List[JobSpec], n_jobs: int = 1,
@@ -190,11 +304,12 @@ def _execute_serial(jobs: List[JobSpec], progress: Progress) -> List[RunResult]:
     slot_of = _positions(jobs)
     results: List[Optional[RunResult]] = [None] * len(jobs)
     for job in jobs:
-        status, index, *rest = _worker(job)
-        if status == "err":
-            _raise_worker_error(*rest)
-        result = rest[0]
-        results[slot_of[index]] = result
+        try:
+            result = _attempt_job(job)
+        except BaseException as exc:
+            _raise_worker_error(job.describe(), traceback.format_exc(),
+                                cause=exc)
+        results[slot_of[job.index]] = result
         if progress is not None:
             progress(result.summary())
     return results  # type: ignore[return-value]

@@ -11,10 +11,13 @@
 from __future__ import annotations
 
 import time
+from dataclasses import replace as _dc_replace
 from functools import lru_cache
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import FaultRuntime
 from repro.metrics.report import RunResult
 from repro.net.model import NetworkModel
 from repro.net.presets import get_preset
@@ -59,6 +62,7 @@ def run_experiment(
     verify: bool = False,
     tracer: Optional[Tracer] = None,
     max_events: int = 50_000_000,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run one parallel UTS search on the simulated machine.
 
@@ -85,7 +89,14 @@ def run_experiment(
         tree's own seed lives in ``tree.seed``.
     verify:
         If True, recount the tree sequentially (cached) and raise
-        :class:`~repro.errors.ProtocolError` on any mismatch.
+        :class:`~repro.errors.ProtocolError` on any mismatch.  On a
+        faulted run the check is ``total_nodes + lost_work ==
+        expected`` -- fail-stop losses must be *exactly* accounted.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` to inject deterministic
+        faults (overrides ``config.faults`` when given).  The run then
+        activates the recovery protocols, watchdogs, and the
+        node-conservation checker.
 
     Returns
     -------
@@ -109,16 +120,33 @@ def run_experiment(
         tree_desc = describe() if callable(describe) else repr(tree)
     network = net if net is not None else get_preset(preset)
     cfg = config if config is not None else WsConfig(chunk_size=chunk_size)
+    if faults is not None:
+        cfg = _dc_replace(cfg, faults=faults)
     machine = Machine(threads=threads, net=network, seed=seed, tracer=tracer,
                       max_events=max_events)
+    fault_rt: Optional[FaultRuntime] = None
+    if cfg.faults is not None:
+        # Installed before the algorithm is constructed so every hook
+        # site (comm, locks, staleable vars) binds to it.
+        fault_rt = FaultRuntime(cfg.faults, machine)
+        machine.faults = fault_rt
     algo_cls = get_algorithm(algorithm)
     algo = algo_cls(machine, tree_obj, cfg)
 
     host_t0 = time.perf_counter()
-    machine.spawn_all(algo.thread_main)
+    if fault_rt is not None:
+        fault_rt.attach(algo)
+        machine.spawn_all(algo.guarded_main)
+        fault_rt.start()
+    else:
+        machine.spawn_all(algo.thread_main)
     sim_time = machine.run()
     host_seconds = time.perf_counter() - host_t0
     algo.finalize()
+    lost_work = 0
+    if fault_rt is not None:
+        fault_rt.check_conservation()
+        lost_work = fault_rt.lost_work_total(tree_obj)
 
     result = RunResult(
         algorithm=algo.name,
@@ -132,6 +160,8 @@ def run_experiment(
         per_thread=algo.stats,
         host_seconds=host_seconds,
         engine_events=machine.sim.events_processed,
+        lost_work=lost_work,
+        fault_counters=fault_rt.counters if fault_rt is not None else None,
     )
     if verify:
         result.verify(expected_node_count(tree))

@@ -9,8 +9,10 @@ steal-rate -- plus a :meth:`verify` check against the sequential count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ProtocolError
+from repro.faults.counters import FaultCounters
 from repro.metrics.counters import AggregateStats, aggregate
 
 __all__ = ["RunResult"]
@@ -36,6 +38,13 @@ class RunResult:
     host_seconds: float = 0.0
     #: Discrete events the engine processed -- diagnostics only.
     engine_events: int = 0
+    #: Nodes provably destroyed by fail-stop faults: the exact subtree
+    #: size under every lost descriptor.  Zero on fault-free runs and
+    #: under delay/duplication-only fault plans.
+    lost_work: int = 0
+    #: Per-fault-type injection and recovery counters; None on
+    #: fault-free runs.
+    fault_counters: Optional[FaultCounters] = field(default=None, repr=False)
 
     # -- derived metrics ----------------------------------------------------
 
@@ -74,12 +83,19 @@ class RunResult:
     # -- validation -----------------------------------------------------------
 
     def verify(self, expected_nodes: int) -> None:
-        """Raise unless the parallel count matches the sequential count."""
-        if self.total_nodes != expected_nodes:
+        """Raise unless the parallel count accounts for every node.
+
+        Fault-free (and under delay/duplication-only faults) the
+        parallel count must equal the sequential count exactly.  Under
+        fail-stop faults the count may fall short, but only by exactly
+        :attr:`lost_work` -- the provable size of the destroyed
+        subtrees.  Any other gap is a protocol bug.
+        """
+        if self.total_nodes + self.lost_work != expected_nodes:
             raise ProtocolError(
                 f"{self.algorithm} on {self.n_threads} threads counted "
-                f"{self.total_nodes} nodes, expected {expected_nodes} "
-                f"(lost/duplicated work)"
+                f"{self.total_nodes} nodes + {self.lost_work} provably "
+                f"lost, expected {expected_nodes} (lost/duplicated work)"
             )
 
     def summary(self) -> str:

@@ -68,9 +68,24 @@ class MsgWorld:
         return tag_filter is None or tag in tag_filter
 
     def _post(self, msg: Message) -> None:
-        """Route a freshly sent message to a blocked receiver or mailbox."""
+        """Accept a freshly sent message, applying any fault plan.
+
+        With faults configured, the runtime decides the message's fate:
+        it may be dropped (never delivered), delayed (delivered with a
+        pushed-back arrival time), duplicated (delivered twice), or
+        discarded because the destination fail-stopped.
+        """
         self.messages_sent += 1
         self.bytes_sent += msg.nbytes
+        faults = self.machine.faults
+        if faults is not None:
+            for delivery in faults.route_message(msg):
+                self._deliver(delivery)
+            return
+        self._deliver(msg)
+
+    def _deliver(self, msg: Message) -> None:
+        """Route a message to a blocked receiver or the mailbox heap."""
         waiters = self._waiters[msg.dst]
         for i, (tag_filter, ev) in enumerate(waiters):
             if self._matches(msg.tag, tag_filter):

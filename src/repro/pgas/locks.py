@@ -17,14 +17,43 @@ __all__ = ["GlobalLock"]
 
 
 class GlobalLock:
-    """A ``upc_lock_t`` analogue: FIFO lock with affinity to a home rank."""
+    """A ``upc_lock_t`` analogue: FIFO lock with affinity to a home rank.
 
-    __slots__ = ("name", "home", "fifo")
+    ``holder``/``pending`` track *which rank* owns or is queued for the
+    lock -- bookkeeping the fault layer needs to free a lock whose
+    holder fail-stops (a corpse must not hold a stack locked forever).
+    Fault-free runs pay only the dictionary updates; timing and event
+    order are untouched.
+    """
+
+    __slots__ = ("name", "home", "fifo", "holder", "pending")
 
     def __init__(self, sim: Simulator, name: str, home: int) -> None:
         self.name = name
         self.home = home
         self.fifo = FifoLock(sim, name=name)
+        #: Rank currently holding the lock (None when free/unknown).
+        self.holder: int | None = None
+        #: rank -> acquire event, for ranks suspended in ``ctx.lock``.
+        self.pending: dict[int, object] = {}
+
+    def on_thread_death(self, rank: int) -> None:
+        """Release or dequeue a fail-stopped rank's claim on the lock."""
+        ev = self.pending.pop(rank, None)
+        if ev is not None:
+            if ev.fired:
+                # The lock was already handed to the corpse (it died
+                # between the grant and resuming): pass it on.
+                self.fifo.release()
+            else:
+                try:
+                    self.fifo._queue.remove(ev)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            return
+        if self.holder == rank and self.fifo.locked:
+            self.holder = None
+            self.fifo.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<GlobalLock {self.name}@T{self.home}>"

@@ -46,6 +46,12 @@ class Machine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.contexts = [UpcContext(self, rank) for rank in range(threads)]
         self._procs: list[Process] = []
+        #: Fault-injection runtime (:class:`repro.faults.runtime.FaultRuntime`)
+        #: or None on fault-free runs; every hook site tests this once.
+        self.faults = None
+        #: All global locks ever allocated, so the fault layer can free
+        #: one whose holder fail-stops.
+        self._locks: list[GlobalLock] = []
 
     # -- global address space constructors --------------------------------
 
@@ -53,16 +59,24 @@ class Machine:
         return SharedVar(name, home, init)
 
     def shared_array(self, name: str, init: Any = None,
-                     length: Optional[int] = None) -> SharedArray:
-        return SharedArray(name, length or self.n_threads, init=init)
+                     length: Optional[int] = None,
+                     staleable: bool = False) -> SharedArray:
+        """``staleable=True`` opts the array into stale-read fault
+        injection (protocol-state channels like ``work_avail``)."""
+        return SharedArray(name, length or self.n_threads, init=init,
+                           stale_host=self if staleable else None)
 
     def global_lock(self, name: str, home: int = 0) -> GlobalLock:
-        return GlobalLock(self.sim, name, home)
+        lk = GlobalLock(self.sim, name, home)
+        self._locks.append(lk)
+        return lk
 
     def lock_array(self, name: str) -> list[GlobalLock]:
         """One lock per rank, homed at that rank (``upc_all_lock_alloc``)."""
-        return [GlobalLock(self.sim, f"{name}[{i}]", i)
-                for i in range(self.n_threads)]
+        locks = [GlobalLock(self.sim, f"{name}[{i}]", i)
+                 for i in range(self.n_threads)]
+        self._locks.extend(locks)
+        return locks
 
     # -- execution ---------------------------------------------------------
 
@@ -87,7 +101,7 @@ class Machine:
 class UpcContext:
     """Per-rank view of the machine (MYTHREAD, costs, RNG, trace)."""
 
-    __slots__ = ("machine", "rank", "sim", "net", "rng")
+    __slots__ = ("machine", "rank", "sim", "net", "rng", "_slow")
 
     def __init__(self, machine: Machine, rank: int) -> None:
         self.machine = machine
@@ -95,6 +109,10 @@ class UpcContext:
         self.sim = machine.sim
         self.net = machine.net
         self.rng = StreamRng(machine.seed, "thread", rank)
+        #: Compute-time multiplier; >1.0 only under a slowdown fault
+        #: (``dt * 1.0 == dt`` exactly in IEEE-754, so the fault-free
+        #: path is bit-identical).
+        self._slow = 1.0
 
     # -- convenience -------------------------------------------------------
 
@@ -114,13 +132,17 @@ class UpcContext:
     def compute(self, dt: float) -> Gen:
         """Spend ``dt`` seconds of local computation."""
         if dt > 0:
-            yield Timeout(dt)
+            yield Timeout(dt * self._slow)
 
     def shared_read(self, var: SharedVar) -> Gen:
         """Read a shared variable; value observed *after* the latency."""
         cost = self.net.shared_ref(self.rank, var.home)
         if cost > 0:
             yield Timeout(cost)
+        if var.stale_host is not None:
+            # Staleable protocol state: may observe a pre-write value
+            # inside a fault-injected visibility window.
+            return var.remote_read(self.sim.now, self.rank)
         return var.peek()
 
     def shared_write(self, var: SharedVar, value: Any) -> Gen:
@@ -162,20 +184,37 @@ class UpcContext:
         cost = self.net.lock_cost(self.rank, lk.home)
         if cost > 0:
             yield Timeout(cost)
-        yield lk.fifo.acquire()
+        ev = lk.fifo.acquire()
+        # Registered *before* the yield so a fail-stop while suspended
+        # here (even on an already-granted event) is traceable.
+        lk.pending[self.rank] = ev
+        yield ev
+        lk.pending.pop(self.rank, None)
+        lk.holder = self.rank
 
     def try_lock(self, lk: GlobalLock) -> Gen:
         """``upc_lock_attempt``: pay the round trip, maybe get the lock."""
         cost = self.net.lock_cost(self.rank, lk.home)
         if cost > 0:
             yield Timeout(cost)
-        return lk.fifo.try_acquire()
+        got = lk.fifo.try_acquire()
+        if got:
+            lk.holder = self.rank
+        return got
 
     def unlock(self, lk: GlobalLock) -> Gen:
         """Release a global lock (one shared reference to its home)."""
         cost = self.net.shared_ref(self.rank, lk.home)
         if cost > 0:
             yield Timeout(cost)
+        faults = self.machine.faults
+        if faults is not None:
+            stall = faults.roll_lock_stall()
+            if stall > 0.0:
+                # Lock-holder stall fault: keep holding through the
+                # stall so contenders queue behind the sleeper.
+                yield Timeout(stall)
+        lk.holder = None
         lk.fifo.release()
 
     def wait(self, ev: SimEvent) -> Gen:

@@ -19,16 +19,31 @@ __all__ = ["SharedVar", "SharedArray"]
 
 
 class SharedVar:
-    """A scalar in the global address space, homed at one rank."""
+    """A scalar in the global address space, homed at one rank.
 
-    __slots__ = ("name", "home", "value", "reads", "writes")
+    A *staleable* variable (``stale_host`` set to its machine) supports
+    fault-injected visibility windows: a write may leave remote readers
+    seeing the previous value for a bounded window, modelling relaxed
+    consistency in the protocol-state channel.  The home rank always
+    sees its own writes.  Without a fault plan the extra fields are
+    inert and every path reduces to the plain read/write below.
+    """
 
-    def __init__(self, name: str, home: int, value: Any = None) -> None:
+    __slots__ = ("name", "home", "value", "reads", "writes",
+                 "stale_host", "stale_value", "stale_until")
+
+    def __init__(self, name: str, home: int, value: Any = None,
+                 stale_host: Any = None) -> None:
         self.name = name
         self.home = home
         self.value = value
         self.reads = 0
         self.writes = 0
+        #: The owning Machine when this variable participates in
+        #: stale-read fault injection; None otherwise.
+        self.stale_host = stale_host
+        self.stale_value: Any = None
+        self.stale_until = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SharedVar {self.name}@T{self.home} = {self.value!r}>"
@@ -40,8 +55,28 @@ class SharedVar:
         return self.value
 
     def poke(self, value: Any) -> None:
+        host = self.stale_host
+        if host is not None and host.faults is not None:
+            # The fault runtime may capture the outgoing value and open
+            # a stale-visibility window over it.
+            host.faults.on_staleable_write(self)
         self.writes += 1
         self.value = value
+
+    def remote_read(self, now: float, reader: int) -> Any:
+        """Read as seen from ``reader`` at simulated time ``now``.
+
+        Inside an open stale window, non-home readers observe the
+        pre-write value; the home rank and post-window readers see the
+        truth.  Equals :attr:`value` whenever no window is open.
+        """
+        self.reads += 1
+        if now < self.stale_until and reader != self.home:
+            host = self.stale_host
+            if host is not None and host.faults is not None:
+                host.faults.counters.stale_reads += 1
+            return self.stale_value
+        return self.value
 
 
 class SharedArray:
@@ -55,10 +90,12 @@ class SharedArray:
     __slots__ = ("name", "_vars")
 
     def __init__(self, name: str, length: int, init: Any = None,
-                 home_fn: Optional[Callable[[int], int]] = None) -> None:
+                 home_fn: Optional[Callable[[int], int]] = None,
+                 stale_host: Any = None) -> None:
         if home_fn is None:
             home_fn = lambda i: i  # noqa: E731 - cyclic layout
-        self._vars = [SharedVar(f"{name}[{i}]", home_fn(i), init)
+        self._vars = [SharedVar(f"{name}[{i}]", home_fn(i), init,
+                                stale_host=stale_host)
                       for i in range(length)]
         self.name = name
 

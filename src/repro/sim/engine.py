@@ -201,6 +201,35 @@ class Simulator:
         """Create a fresh one-shot event bound to this simulator."""
         return SimEvent(self, name=name)
 
+    def interrupt(self, proc: Process, exc: BaseException) -> None:
+        """Throw ``exc`` into ``proc`` at its current suspension point.
+
+        The process body sees the exception rise out of its pending
+        ``yield`` and may catch it to run (non-yielding) cleanup before
+        returning; either way the process is dead afterwards and its
+        ``done`` event fires.  Stale heap entries for the process are
+        skipped by :meth:`run`.  This is the fail-stop primitive: the
+        fault layer uses it to kill a UPC thread mid-protocol.
+        """
+        if not proc.alive:
+            return
+        value: Any = None
+        try:
+            proc.body.throw(exc)
+        except StopIteration as stop:
+            value = stop.value
+        except BaseException as raised:
+            if raised is not exc:
+                raise
+            # Body let the interrupt propagate: plain death, no value.
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded while being interrupted"
+            )
+        proc.alive = False
+        self._live_processes -= 1
+        proc.done.succeed(value)
+
     # -- execution -------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
@@ -219,6 +248,13 @@ class Simulator:
                 heapq.heappush(heap, (time, _seq, proc, value))
                 self.now = until
                 return self.now
+            if proc is not None and not proc.alive:
+                # Stale resumption of an interrupted process (its
+                # pending timeout / event wake-up outlived it); dropped
+                # before it can advance the clock.  Never reached
+                # without Simulator.interrupt: a process that finishes
+                # normally has no outstanding resumptions.
+                continue
             self.now = time
             self.events_processed += 1
             if self.events_processed > self.max_events:

@@ -47,12 +47,22 @@ class AlgorithmBase:
     name = "abstract"
     #: How many chunks a thief takes, given the victim's availability.
     steal_amount: StealAmount = staticmethod(steal_one)
+    #: Message tags the fault layer may drop for this algorithm.  Only
+    #: the *control* channel is lossy; work payloads are delay-only
+    #: (reliable transport), so dropped messages cost retries, not
+    #: nodes.  Message-free algorithms leave both sets empty.
+    droppable_tags: frozenset = frozenset()
+    #: Message tags the fault layer may duplicate.
+    duplicable_tags: frozenset = frozenset()
 
     def __init__(self, machine: Machine, tree: Tree, cfg: WsConfig) -> None:
         self.machine = machine
         self.tree = tree
         self.cfg = cfg
         self.net = machine.net
+        #: Fault runtime when this run injects faults, else None.  All
+        #: recovery paths key off this single attribute.
+        self.faults_rt = machine.faults
         # Effective per-node visit time: the platform's sequential rate
         # scaled by the workload's compute granularity (UTS knob for
         # more expensive state evaluation).
@@ -75,7 +85,10 @@ class AlgorithmBase:
         #: children() call); implicit trees use the generic loop below.
         self._batch_expand = getattr(tree, "batch_expand", None)
         #: Chunks available per thread; NO_WORK when a thread is idle.
-        self.work_avail = machine.shared_array("work_avail", init=NO_WORK)
+        #: Staleable: under a stale-read fault plan, remote probes may
+        #: briefly observe the pre-write value (inert without faults).
+        self.work_avail = machine.shared_array("work_avail", init=NO_WORK,
+                                               staleable=True)
         self.work_avail[0].poke(0)
         self.probe_orders = [
             ProbeOrder(r, n, machine.contexts[r].rng) for r in range(n)
@@ -92,6 +105,31 @@ class AlgorithmBase:
 
     def thread_main(self, ctx: UpcContext) -> Generator:
         raise NotImplementedError
+
+    def guarded_main(self, ctx: UpcContext) -> Generator:
+        """``thread_main`` under a fail-stop guard (faulted runs only).
+
+        :class:`~repro.errors.ThreadKilled` rises out of the pending
+        yield when the kill watchdog interrupts this thread; the
+        handler (which must not yield) turns the corpse's work over to
+        the loss accountant before the generator finishes.
+        """
+        from repro.errors import ThreadKilled
+        try:
+            yield from self.thread_main(ctx)
+        except ThreadKilled:
+            self.faults_rt.on_thread_death(ctx.rank)
+
+    # -- fault hooks (no-ops by default; algorithms with protocol state
+    # that can wedge on a dead peer override these) ------------------------
+
+    def on_thread_death(self, rank: int) -> None:
+        """A thread fail-stopped (called after its stack/flight work is
+        accounted): release any algorithm state the corpse pinned."""
+
+    def on_msg_to_dead(self, msg) -> None:
+        """A message was addressed to an already-dead rank and is about
+        to be discarded; account any work payload it carried."""
 
     def enter_state(self, ctx: UpcContext, state: str) -> None:
         """Transition ``ctx``'s thread to a Figure-1 state, recording it

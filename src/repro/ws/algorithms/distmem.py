@@ -14,9 +14,10 @@ All three refinements together:
   while the victim keeps working.
 
 The victim services or denies requests at every poll point in every
-state (working, searching, in-barrier), so a thief never waits
-unboundedly: either the request is granted, or it is denied and the
-thief resumes probing.
+state (working, searching, in-barrier, and -- under fault injection --
+even while itself blocked awaiting a steal response), so a thief never
+waits unboundedly: either the request is granted, or it is denied and
+the thief resumes probing.
 """
 
 from __future__ import annotations
@@ -25,13 +26,17 @@ from typing import Generator, List, Optional
 
 from repro.metrics.states import SEARCHING, STEALING, WORKING
 from repro.pgas.machine import UpcContext
-from repro.sim.engine import SimEvent
+from repro.sim.engine import SimEvent, Timeout
 from repro.ws.algorithms.base import NO_WORK, AlgorithmBase, flatten
 from repro.ws.algorithms.streamlined_phase import StreamlinedTerminationMixin
 from repro.ws.policies import steal_half
 from repro.ws.termination import StreamlinedBarrier
 
 __all__ = ["UpcDistMem"]
+
+#: Sentinel a thief's give-up watch fires its response event with when
+#: the victim is suspected dead (distinguishable from a denial ``[]``).
+_GAVE_UP = object()
 
 
 class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
@@ -64,14 +69,21 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             return
         stack = self.stacks[rank]
         st = self.stats[rank]
+        rt = self.faults_rt
         if stack.shared_chunks > 0:
             take = self.steal_amount(stack.shared_chunks)
             chunks = stack.steal_chunks(take)
-            self.in_flight_nodes += sum(len(c) for c in chunks)
+            nodes = flatten(chunks)
+            self.in_flight_nodes += len(nodes)
             self.work_avail[rank].poke(stack.shared_chunks)
             st.requests_granted += 1
+            if rt is not None:
+                # Journal the granted nodes across the yield below: if
+                # this victim fail-stops mid-service they exist only in
+                # this frame.
+                rt.begin_transfer(rank, nodes)
         else:
-            chunks = []
+            chunks = nodes = []
             st.requests_denied += 1
         # Two remote writes (amount given + address of the work).  These
         # are one-sided puts issued outside any critical section: the
@@ -83,6 +95,20 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         slot.poke(None)  # local reset of the request variable
         ev = self.response_events[thief]
         self.response_events[thief] = None
+        if rt is not None:
+            if nodes:
+                rt.end_transfer(rank)
+            if ev is None:
+                # The thief fail-stopped while waiting: its response
+                # event was retired at death.  The popped nodes have
+                # nowhere to go -- account them as lost.
+                if nodes:
+                    self.in_flight_nodes -= len(nodes)
+                    rt.account_lost(nodes)
+                return
+            if nodes:
+                # Re-journal under the thief until it pushes them.
+                rt.register_response(thief, nodes)
         ev.succeed(chunks, delay=self.net.shared_ref(rank, thief))
         ctx.trace("service", f"thief=T{thief} chunks={len(chunks)}")
 
@@ -109,24 +135,67 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             return False
         ev = self.machine.sim.event(name=f"response.T{rank}")
         self.response_events[rank] = ev
+        rt = self.faults_rt
+        if rt is not None and rt.watching_deaths:
+            # A dead victim never answers; the watch fires our response
+            # event with the give-up sentinel once the failure detector
+            # suspects it.
+            self.machine.sim.spawn(self._give_up_watch(ev, rank, victim),
+                                   name=f"giveup.T{rank}")
         yield from ctx.compute(self.net.shared_ref(rank, victim))
         self.request[victim].poke(rank)
         yield from ctx.unlock(lk)
         # Wait for the victim's response -- spinning on our own response
         # variable, a local read, so no cost beyond the elapsed time.
-        chunks = yield ev
+        if rt is None:
+            chunks = yield ev
+        else:
+            # Under fault injection a stale probe can send two thieves
+            # after *each other* at once: both would block here on the
+            # other's response while their own request slots sit
+            # unserviced -- a mutual deadlock that cannot arise
+            # fault-free, because a requester's own work_avail is a
+            # fresh NO_WORK and nobody requests a requester.  Keep
+            # denying our own slot while we wait.
+            while not (ev.fired or ev.scheduled):
+                yield from self.service_request(ctx)
+                if ev.fired or ev.scheduled:
+                    break
+                yield Timeout(self.cfg.search_backoff_min)
+            chunks = yield ev
+        if chunks is _GAVE_UP:
+            rt.counters.steal_timeouts += 1
+            return False
         if not chunks:
             return False
         nodes = flatten(chunks)
         yield from ctx.chunk_get(victim, len(nodes))
         self.stacks[rank].push_many(nodes)
         self.in_flight_nodes -= len(nodes)
+        if rt is not None:
+            rt.clear_response(rank)
         st.steals_ok += 1
         st.chunks_stolen += len(chunks)
         st.nodes_stolen += len(nodes)
         self.work_avail[rank].poke(0)
         ctx.trace("steal", f"from=T{victim} chunks={len(chunks)} nodes={len(nodes)}")
         return True
+
+    def _give_up_watch(self, ev: SimEvent, rank: int, victim: int) -> Generator:
+        """Background watch on one steal transaction (faulted runs with
+        kills only): fire the thief's response event with ``_GAVE_UP``
+        if the victim is suspected dead before a response arrives."""
+        rt = self.faults_rt
+        while True:
+            if ev.fired or ev.scheduled:
+                return  # answered (or already given up)
+            if self.response_events[rank] is not ev:
+                return  # transaction retired (thief itself died)
+            if rt.suspected(victim):
+                self.response_events[rank] = None
+                ev.succeed(_GAVE_UP)
+                return
+            yield Timeout(rt.plan.heartbeat_period)
 
     # -- working phase -----------------------------------------------------------
 
@@ -172,7 +241,7 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             for victim in self.probe_orders[rank].cycle():
                 st.probes += 1
                 cost_acc += shared_ref(rank, victim)
-                avail = self.work_avail[victim].value
+                avail = self.work_avail[victim].remote_read(ctx.now, rank)
                 if avail == 0:
                     any_working = True
                 elif avail > 0:
@@ -197,6 +266,13 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
     def barrier_service_hook(self, ctx: UpcContext) -> Generator:
         """In-barrier threads still deny racing steal requests."""
         yield from self.service_request(ctx)
+
+    def on_thread_death(self, rank: int) -> None:
+        """Retire the corpse's steal transaction (its give-up watch and
+        any victim mid-service both key off the cleared slot) and count
+        it out of the termination barrier."""
+        super().on_thread_death(rank)
+        self.response_events[rank] = None
 
     def thread_main(self, ctx: UpcContext) -> Generator:
         while True:

@@ -107,16 +107,23 @@ class LockBasedAlgorithm(AlgorithmBase):
             return False
         take = self.steal_amount(nch)
         chunks = vstack.steal_chunks(take)
+        nodes = flatten(chunks)
+        self.in_flight_nodes += len(nodes)
+        rt = self.faults_rt
+        if rt is not None:
+            # Journal the reserved nodes across the transfer: until
+            # push_many below they exist only in this thief's frame.
+            rt.begin_transfer(rank, nodes)
         self.work_avail[victim].poke(vstack.shared_chunks)
         yield from ctx.compute(self.net.shared_ref(rank, victim))
         yield from ctx.unlock(lk)
         # One-sided transfer outside the critical region; the victim
         # keeps working during this.
-        nodes = flatten(chunks)
-        self.in_flight_nodes += len(nodes)
         yield from ctx.chunk_get(victim, len(nodes))
         self.stacks[rank].push_many(nodes)
         self.in_flight_nodes -= len(nodes)
+        if rt is not None:
+            rt.end_transfer(rank)
         st.steals_ok += 1
         st.chunks_stolen += take
         st.nodes_stolen += len(nodes)
@@ -144,7 +151,7 @@ class LockBasedAlgorithm(AlgorithmBase):
             for victim in self.probe_orders[rank].cycle():
                 st.probes += 1
                 cost_acc += shared_ref(rank, victim)
-                avail = self.work_avail[victim].value
+                avail = self.work_avail[victim].remote_read(ctx.now, rank)
                 if avail == 0:
                     any_working = True
                 elif avail > 0:

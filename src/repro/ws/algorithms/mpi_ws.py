@@ -42,12 +42,35 @@ _CTRL_BYTES = 8  # control messages: a tag and a word of payload
 class MpiWorkStealing(AlgorithmBase):
     name = "mpi-ws"
 
+    # Fault model: the control channel (requests, denials, termination
+    # tokens) is lossy -- droppable and duplicable.  WORK and TERM ride
+    # a reliable (delay-only) channel: losing a work payload silently
+    # would corrupt the count the protocol is supposed to conserve.
+    droppable_tags = frozenset({REQUEST, NOWORK, TOKEN})
+    duplicable_tags = frozenset({REQUEST, NOWORK, TOKEN})
+
     def setup(self) -> None:
         self.world = MsgWorld(self.machine)
         self.endpoints = [self.world.endpoint(c) for c in self.machine.contexts]
         self.tokens = [TokenState(r, self.machine.n_threads)
                        for r in range(self.machine.n_threads)]
         self.terminated = False
+        self.faulty = self.faults_rt is not None
+        if self.faulty:
+            n = self.machine.n_threads
+            # Sequence-numbered steal transactions (dedup + timeout).
+            self._req_seq = [0] * n           # per-thief next sequence
+            self._seen_seq = [dict() for _ in range(n)]  # victim: thief->seq
+            # Safra-style termination: per-rank WORK send/receive
+            # deficits and a (round, colour, deficit) ring token.
+            self._wsent = [0] * n
+            self._wrecv = [0] * n
+            self._held = [None] * n           # token held at each rank
+            self._tok_seen_round = [0] * n    # last round each rank forwarded
+            self._round = 0                   # rank 0: current round number
+            self._tok_inflight = False
+            self._tok_launched = 0.0
+            self._round_deaths = 0            # len(dead) at round launch
 
     # -- messaging helpers ---------------------------------------------------
 
@@ -56,22 +79,47 @@ class MpiWorkStealing(AlgorithmBase):
         yield from self.endpoints[ctx.rank].send(dst, tag, payload, nbytes)
         self.stats[ctx.rank].msgs_sent += 1
 
-    def _serve_request(self, ctx: UpcContext, thief: int) -> Generator:
+    def _serve_request(self, ctx: UpcContext, thief: int,
+                       seq=None) -> Generator:
         """Answer a steal request: one chunk if the shared region has
-        one, else a denial."""
+        one, else a denial.
+
+        Under faults, requests carry a per-thief sequence number:
+        duplicates (the fault layer may deliver a REQUEST twice) are
+        suppressed here, and the denial echoes the sequence so the
+        thief can match it against its outstanding transaction.
+        """
         rank = ctx.rank
         stack = self.stacks[rank]
         st = self.stats[rank]
+        rt = self.faults_rt
+        if rt is not None and seq is not None:
+            seen = self._seen_seq[rank]
+            if seq <= seen.get(thief, -1):
+                rt.counters.dup_requests_suppressed += 1
+                return
+            seen[thief] = seq
         if stack.shared_chunks > 0:
             chunk = stack.steal_chunks(1)[0]
             self.in_flight_nodes += len(chunk)
             st.requests_granted += 1
-            self.tokens[rank].on_sent_work(thief)
-            yield from self._send(ctx, thief, WORK, payload=chunk,
-                                  nbytes=len(chunk) * NODE_DESC_BYTES + _CTRL_BYTES)
+            if rt is None:
+                self.tokens[rank].on_sent_work(thief)
+                yield from self._send(ctx, thief, WORK, payload=chunk,
+                                      nbytes=len(chunk) * NODE_DESC_BYTES + _CTRL_BYTES)
+            else:
+                # Journal the chunk across the send: if this thread is
+                # killed mid-send the nodes exist only in this frame.
+                # The deficit increment lands after the post, atomically
+                # with it (no yield in between).
+                rt.begin_transfer(rank, chunk)
+                yield from self._send(ctx, thief, WORK, payload=chunk,
+                                      nbytes=len(chunk) * NODE_DESC_BYTES + _CTRL_BYTES)
+                rt.end_transfer(rank)
+                self._wsent[rank] += 1
         else:
             st.requests_denied += 1
-            yield from self._send(ctx, thief, NOWORK)
+            yield from self._send(ctx, thief, NOWORK, payload=seq)
 
     def _forward_token(self, ctx: UpcContext) -> Generator:
         """Idle non-zero rank holding a token: pass it along the ring."""
@@ -112,7 +160,12 @@ class MpiWorkStealing(AlgorithmBase):
             # Poll for steal requests and tokens (the MPI polling point).
             while (msg := ep.iprobe(tags=(REQUEST, TOKEN))) is not None:
                 if msg.tag == REQUEST:
-                    yield from self._serve_request(ctx, msg.src)
+                    yield from self._serve_request(ctx, msg.src,
+                                                   seq=msg.payload)
+                elif self.faulty:
+                    # Hold (or discard a stale copy of) the ring token;
+                    # it is evaluated/forwarded once this thread idles.
+                    self._accept_token(rank, msg.payload)
                 else:
                     # Busy: hold the token until idle.  Rank 0 receiving
                     # the token while busy invalidates the round.
@@ -139,6 +192,8 @@ class MpiWorkStealing(AlgorithmBase):
 
         Returns True on termination, False when work has been obtained.
         """
+        if self.faulty:
+            return (yield from self._idle_phase_faulty(ctx))
         rank = ctx.rank
         n = self.machine.n_threads
         stack = self.stacks[rank]
@@ -199,6 +254,233 @@ class MpiWorkStealing(AlgorithmBase):
             yield from ctx.compute(backoff)
             backoff = min(backoff * self.cfg.search_backoff_factor,
                           self.cfg.search_backoff_max)
+
+    # -- fault-tolerant mode (active only with a FaultPlan) ------------------
+    #
+    # Recovery design (docs/fault-model.md):
+    # * Steal transactions are sequence-numbered.  A thief keeps one
+    #   outstanding REQUEST with a timeout (exponential backoff); a lost
+    #   request or denial costs a timeout, a duplicated one is suppressed
+    #   by sequence, and a late response is discarded as stale.
+    # * Termination is a Safra-style ring token ``(round, colour,
+    #   deficit)``.  Receiving WORK blackens a rank; each rank adds its
+    #   WORK send/receive deficit when forwarding and whitens.  Rank 0
+    #   declares termination only on a white token with zero total
+    #   deficit (including dead ranks' deficits), so delayed work in
+    #   flight always blocks the declaration.  Lost or dropped tokens
+    #   are relaunched by rank 0 after ``ring_timeout`` of silence;
+    #   per-round forwarding guards make duplicates harmless.
+    # * Dead ranks: routed around via the heartbeat failure detector;
+    #   their mailboxes are drained at death with every orphaned WORK
+    #   payload counted both received (deficit) and lost (accounting).
+
+    def _accept_token(self, rank: int, payload) -> None:
+        """Hold an arriving ring token, discarding stale/duplicate ones."""
+        counters = self.faults_rt.counters
+        rnd = payload[0]
+        if rank == 0:
+            if not self._tok_inflight or rnd != self._round:
+                counters.stale_tokens += 1
+                return
+            self._tok_inflight = False
+            self._held[0] = payload
+        else:
+            # One forward per round per rank: a duplicated TOKEN either
+            # finds this rank already holding (first guard) or already
+            # past that round (second guard).
+            if self._held[rank] is not None or rnd <= self._tok_seen_round[rank]:
+                counters.stale_tokens += 1
+                return
+            self._held[rank] = payload
+
+    def _next_alive(self, rank: int) -> int:
+        """Next ring member, skipping ranks the detector suspects."""
+        n = self.machine.n_threads
+        dst = (rank + 1) % n
+        while dst != rank and self.faults_rt.suspected(dst):
+            dst = (dst + 1) % n
+        return dst
+
+    def _pick_victim(self, rank: int):
+        """A steal victim not currently suspected dead (None if all are)."""
+        order = self.probe_orders[rank]
+        for _ in range(self.machine.n_threads):
+            victim = order.one()
+            if not self.faults_rt.suspected(victim):
+                return victim
+        return None
+
+    def _launch_token(self, ctx: UpcContext) -> Generator:
+        """Rank 0: start a fresh token round around the live ring."""
+        self._round += 1
+        self._round_deaths = len(self.faults_rt.dead)
+        token = self.tokens[0]
+        token.rounds += 1
+        token.colour = WHITE
+        self._tok_inflight = True
+        self._tok_launched = ctx.now
+        payload = (self._round, WHITE, 0)
+        dst = self._next_alive(0)
+        if dst == 0:
+            # Every other rank is dead: the ring is rank 0 alone; hold
+            # our own token and evaluate it on the next loop pass.
+            self._tok_inflight = False
+            self._held[0] = payload
+            return
+        yield from self._send(ctx, dst, TOKEN, payload=payload)
+
+    def _forward_token_faulty(self, ctx: UpcContext) -> Generator:
+        """Idle non-zero rank: contribute colour + deficit, pass it on."""
+        rank = ctx.rank
+        rnd, colour, deficit = self._held[rank]
+        self._held[rank] = None
+        self._tok_seen_round[rank] = rnd
+        token = self.tokens[rank]
+        out = BLACK if token.colour == BLACK else colour
+        deficit += self._wsent[rank] - self._wrecv[rank]
+        token.colour = WHITE
+        self.stats[rank].tokens_forwarded += 1
+        yield from self._send(ctx, self._next_alive(rank), TOKEN,
+                              payload=(rnd, out, deficit))
+
+    def _evaluate_token(self, held) -> bool:
+        """Rank 0, idle: did this returned token prove quiescence?"""
+        if len(self.faults_rt.dead) != self._round_deaths:
+            # A rank died mid-round.  If it forwarded this token first,
+            # its deficit snapshot is inside the token AND in the dead
+            # sum below (double-counted), and any blackening it suffered
+            # after forwarding died with it.  Void the round; the next
+            # one sees a stable dead set.
+            return False
+        _rnd, colour, deficit = held
+        deficit += self._wsent[0] - self._wrecv[0]
+        for dead in self.faults_rt.dead:
+            # Dead ranks never forward the token; their deficit (work
+            # they sent that is still in flight) is settled here.
+            deficit += self._wsent[dead] - self._wrecv[dead]
+        return colour == WHITE and self.tokens[0].colour == WHITE \
+            and deficit == 0
+
+    def _broadcast_term_faulty(self, ctx: UpcContext) -> Generator:
+        """Direct TERM to every live rank (the binary tree could route
+        through a corpse); TERM rides the reliable channel."""
+        self.quiescence_check()
+        self.terminated = True
+        for dst in range(1, self.machine.n_threads):
+            if dst not in self.faults_rt.dead:
+                yield from self._send(ctx, dst, TERM)
+        ctx.trace("mpi.term")
+
+    def _idle_phase_faulty(self, ctx: UpcContext) -> Generator:
+        """Fault-tolerant search + termination loop (see block comment)."""
+        rank = ctx.rank
+        n = self.machine.n_threads
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        ep = self.endpoints[rank]
+        rt = self.faults_rt
+        plan = rt.plan
+        if n == 1:
+            return True
+        outstanding = None  # (victim, seq, deadline)
+        timeout = plan.steal_timeout
+        backoff = self.cfg.search_backoff_min
+        while True:
+            progressed = False
+            while (msg := ep.iprobe()) is not None:
+                progressed = True
+                if msg.tag == TERM:
+                    return True
+                if msg.tag == REQUEST:
+                    yield from self._serve_request(ctx, msg.src,
+                                                   seq=msg.payload)
+                elif msg.tag == TOKEN:
+                    self._accept_token(rank, msg.payload)
+                elif msg.tag == WORK:
+                    # Accept work regardless of which transaction it
+                    # answers -- discarding a late grant would lose
+                    # nodes.  Receipt blackens this rank (Safra).
+                    self._wrecv[rank] += 1
+                    self.tokens[rank].colour = BLACK
+                    stack.push_many(msg.payload)
+                    self.in_flight_nodes -= len(msg.payload)
+                    st.steals_ok += 1
+                    st.chunks_stolen += 1
+                    st.nodes_stolen += len(msg.payload)
+                    return False
+                elif msg.tag == NOWORK:
+                    if outstanding is not None \
+                            and msg.src == outstanding[0] \
+                            and msg.payload == outstanding[1]:
+                        outstanding = None
+                        timeout = plan.steal_timeout
+                    else:
+                        rt.counters.stale_responses += 1
+            # Token duties.
+            if rank == 0:
+                held = self._held[0]
+                if held is not None:
+                    self._held[0] = None
+                    if self._evaluate_token(held):
+                        yield from self._broadcast_term_faulty(ctx)
+                        return True
+                    yield from self._launch_token(ctx)
+                    progressed = True
+                elif not self._tok_inflight:
+                    yield from self._launch_token(ctx)
+                    progressed = True
+                elif ctx.now - self._tok_launched >= plan.ring_timeout:
+                    # The token was dropped or died with a rank.
+                    rt.counters.token_relaunches += 1
+                    self._tok_inflight = False
+                    yield from self._launch_token(ctx)
+                    progressed = True
+            elif self._held[rank] is not None:
+                yield from self._forward_token_faulty(ctx)
+                progressed = True
+            # One outstanding steal request, timed out + retried.
+            if outstanding is None:
+                victim = self._pick_victim(rank)
+                if victim is not None:
+                    seq = self._req_seq[rank]
+                    self._req_seq[rank] += 1
+                    st.steal_attempts += 1
+                    st.probes += 1
+                    yield from self._send(ctx, victim, REQUEST, payload=seq)
+                    outstanding = (victim, seq, ctx.now + timeout)
+                    progressed = True
+            elif ctx.now >= outstanding[2] or rt.suspected(outstanding[0]):
+                # No reply in time: the request or denial was dropped,
+                # or the victim died.  Abandon the transaction; a late
+                # denial is recognised by its stale sequence number.
+                rt.counters.steal_timeouts += 1
+                outstanding = None
+                timeout = min(timeout * 2.0, plan.steal_timeout_max)
+                progressed = True
+            if progressed:
+                backoff = self.cfg.search_backoff_min
+            yield from ctx.compute(backoff)
+            backoff = min(backoff * self.cfg.search_backoff_factor,
+                          self.cfg.search_backoff_max)
+
+    def on_thread_death(self, rank: int) -> None:
+        """Drain the corpse's mailbox: orphaned WORK is counted received
+        (balancing the sender's deficit) and lost (accounting)."""
+        rt = self.faults_rt
+        pending = self.world._pending[rank]
+        for _, _, msg in pending:
+            if msg.tag == WORK:
+                self._wrecv[rank] += 1
+                self.in_flight_nodes -= len(msg.payload)
+                rt.account_lost(msg.payload)
+        pending.clear()
+
+    def on_msg_to_dead(self, msg) -> None:
+        """WORK posted to an already-dead thief: settle deficit + loss."""
+        if msg.tag == WORK:
+            self._wrecv[msg.dst] += 1
+            self.in_flight_nodes -= len(msg.payload)
+            self.faults_rt.account_lost(msg.payload)
 
     def thread_main(self, ctx: UpcContext) -> Generator:
         st = self.stats[ctx.rank]

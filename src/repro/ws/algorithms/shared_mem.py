@@ -34,6 +34,11 @@ class UpcSharedMem(LockBasedAlgorithm):
         write the paper blames for delaying working threads."""
         yield from self.barrier.reset(ctx)
 
+    def on_thread_death(self, rank: int) -> None:
+        """Fail-stop recovery: count the corpse out of the cancelable
+        barrier so the survivors' count can still complete."""
+        self.barrier.on_thread_death(rank)
+
     def thread_main(self, ctx: UpcContext) -> Generator:
         st = self.stats[ctx.rank]
         while True:

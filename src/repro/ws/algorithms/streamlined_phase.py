@@ -30,6 +30,11 @@ class StreamlinedTerminationMixin:
         return
         yield  # pragma: no cover - generator marker
 
+    def on_thread_death(self, rank: int) -> None:
+        """Fail-stop recovery: a corpse must not keep the counted
+        barrier one short forever."""
+        self.barrier.on_thread_death(rank)
+
     def termination_phase(self, ctx: UpcContext) -> Generator:
         """Returns True on global termination, False if work was stolen
         (the caller resumes the working phase)."""
@@ -47,13 +52,21 @@ class StreamlinedTerminationMixin:
             yield from self.barrier_service_hook(ctx)
             if self.barrier.terminated:
                 return True
+            if self.faults_rt is not None and not self.barrier.announcing \
+                    and self.barrier.count == self.barrier.alive:
+                # A fail-stop elsewhere made this barrier full: every
+                # surviving thread is counted in, so the system holds no
+                # work (the corpses' work is accounted as lost).
+                self.quiescence_check()
+                yield from self.barrier.announce(ctx)
+                return True
             # Inspect a single other thread (Sect. 3.3.1).
             victim = order.one()
             st.probes += 1
             cost = self.net.shared_ref(ctx.rank, victim)
             if cost > 0:
                 yield from ctx.compute(cost)
-            if self.work_avail[victim].value > 0:
+            if self.work_avail[victim].remote_read(ctx.now, ctx.rank) > 0:
                 # Leave the barrier before touching the work so the
                 # count never certifies termination with work in flight.
                 yield from self.barrier.leave(ctx)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 
 __all__ = ["WsConfig"]
 
@@ -45,6 +46,12 @@ class WsConfig:
     #: always ships one chunk per WORK message, as in the reference
     #: implementation; the override affects the UPC algorithms.)
     steal_policy: Optional[str] = None
+    #: Deterministic fault-injection plan (:mod:`repro.faults`), or None
+    #: for a fault-free run.  With a plan set, the run also activates
+    #: the recovery protocols and the conservation checker; without one
+    #: every fault hook is a no-op and timing is bit-identical to a
+    #: build without the fault layer.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
@@ -65,6 +72,11 @@ class WsConfig:
             raise ConfigError(
                 f"steal_policy must be None, 'one', or 'half'; "
                 f"got {self.steal_policy!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigError(
+                f"faults must be a FaultPlan or None, got "
+                f"{type(self.faults).__name__}"
             )
 
     @property

@@ -47,10 +47,14 @@ class CancelableBarrier:
         self.count = 0
         self.terminated = False
         self.cancels = 0
-        self._waiters: list[SimEvent] = []
+        self._waiters: list[tuple[int, SimEvent]] = []
         #: Soundness oracle invoked by the terminating thread (the
         #: algorithms pass their quiescence check here).
         self.on_terminate = on_terminate
+        #: Fault-tolerance bookkeeping (fault-free: ``alive`` stays
+        #: ``n_threads`` and ``count == alive`` is the original test).
+        self.alive = machine.n_threads
+        self._counted = [False] * machine.n_threads
 
     # -- worker side ---------------------------------------------------------
 
@@ -63,7 +67,7 @@ class CancelableBarrier:
         self.cancels += 1
         if self._waiters:
             stagger = self.net.home_occupancy
-            for i, ev in enumerate(self._waiters):
+            for i, (_rank, ev) in enumerate(self._waiters):
                 ev.succeed(CANCELLED, delay=i * stagger)
             self._waiters.clear()
         ctx.trace("cbarrier.cancel")
@@ -79,25 +83,33 @@ class CancelableBarrier:
             yield from ctx.unlock(self.lock)
             return True
         self.count += 1
-        last = self.count == self.n_threads
+        self._counted[ctx.rank] = True
+        last = self.count == self.alive
         if last:
             if self.on_terminate is not None:
                 self.on_terminate()
             self.terminated = True
             yield from ctx.unlock(self.lock)
-            for ev in self._waiters:
+            for _rank, ev in self._waiters:
                 ev.succeed(TERMINATED, delay=0.0,
                            stagger=self.net.home_occupancy)
             self._waiters.clear()
             ctx.trace("cbarrier.terminate")
             return True
         yield from ctx.unlock(self.lock)
+        if self.terminated:
+            # Only reachable under faults: a fail-stop during our unlock
+            # completed the barrier and termination was declared while
+            # we were still counted in.  Fault-free, no yield separates
+            # the lock release from this point in a way that lets the
+            # declaration interleave.
+            return True
         # Registering after the unlock is race-free *in the simulation*:
         # no yield separates the unlock's completion from the append, so
         # no cancel/terminate can interleave.  A real implementation
         # must register while still holding the lock.
         ev = self.machine.sim.event(name=f"cbarrier.T{ctx.rank}")
-        self._waiters.append(ev)
+        self._waiters.append((ctx.rank, ev))
         outcome = yield ev
         # Waking costs one remote read of the flag the thread spun on.
         wake_cost = self.net.shared_ref(ctx.rank, 0)
@@ -109,6 +121,7 @@ class CancelableBarrier:
         # searching, so count==THREADS remains a sound termination proof.
         yield from ctx.lock(self.lock)
         self.count -= 1
+        self._counted[ctx.rank] = False
         became_terminated = self.terminated
         yield from ctx.unlock(self.lock)
         if became_terminated:
@@ -116,3 +129,27 @@ class CancelableBarrier:
             # system is empty, so searching again is pointless.
             return True
         return False
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def on_thread_death(self, rank: int) -> None:
+        """Count a fail-stopped rank out of the barrier.
+
+        If its death completes the barrier (every surviving thread is
+        counted in and waiting), declare termination here: no live
+        thread will ever enter again, so nobody else can.
+        """
+        self.alive -= 1
+        if self._counted[rank]:
+            self._counted[rank] = False
+            self.count -= 1
+        self._waiters = [(r, ev) for r, ev in self._waiters if r != rank]
+        if not self.terminated and 0 < self.alive == self.count \
+                and self._waiters:
+            if self.on_terminate is not None:
+                self.on_terminate()
+            self.terminated = True
+            for _r, ev in self._waiters:
+                ev.succeed(TERMINATED, delay=0.0,
+                           stagger=self.net.home_occupancy)
+            self._waiters.clear()

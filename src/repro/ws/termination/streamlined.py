@@ -37,13 +37,21 @@ class StreamlinedBarrier:
         self.count = 0
         self.terminated = False
         self.announce_time: float = 0.0
+        #: Fault-tolerance bookkeeping: threads still alive, which ranks
+        #: are currently counted in, and whether an announcement is in
+        #: flight.  Fault-free, ``alive == n_threads`` always, so
+        #: ``count == alive`` is the original full-barrier test.
+        self.alive = machine.n_threads
+        self._counted = [False] * machine.n_threads
+        self.announcing = False
 
     def enter(self, ctx: UpcContext) -> Generator:
         """Increment the barrier count; returns True if this thread is
         the last one in (and should announce termination)."""
         yield from ctx.lock(self.lock)
         self.count += 1
-        last = self.count == self.n_threads
+        self._counted[ctx.rank] = True
+        last = self.count == self.alive and not self.announcing
         yield from ctx.unlock(self.lock)
         ctx.trace("sbarrier.enter", f"count={self.count}")
         return last
@@ -52,14 +60,24 @@ class StreamlinedBarrier:
         """Decrement the count (thread saw a steal candidate)."""
         yield from ctx.lock(self.lock)
         self.count -= 1
+        self._counted[ctx.rank] = False
         yield from ctx.unlock(self.lock)
         ctx.trace("sbarrier.leave", f"count={self.count}")
 
     def announce(self, ctx: UpcContext) -> Generator:
         """Tree-based termination announcement by the last thread."""
+        self.announcing = True
         cost = broadcast_time(self.net, self.n_threads)
         if cost > 0:
             yield Timeout(cost)
         self.terminated = True
         self.announce_time = ctx.now
         ctx.trace("sbarrier.announce")
+
+    def on_thread_death(self, rank: int) -> None:
+        """Count a fail-stopped rank out of the barrier.  The remaining
+        waiters' poll loops observe ``count == alive`` and announce."""
+        self.alive -= 1
+        if self._counted[rank]:
+            self._counted[rank] = False
+            self.count -= 1

@@ -1,0 +1,22 @@
+"""Shared fixtures for the fault-injection integration tests."""
+
+from repro.uts.params import TreeParams
+
+#: Small enough to keep faulted runs (which add timeout/heartbeat
+#: machinery) fast, big enough that every thread steals repeatedly.
+TREE = TreeParams.binomial(b0=200, q=0.49, seed=0)
+
+
+def fingerprint(res):
+    """Everything observable about a run except host-side timings."""
+    return (
+        res.algorithm, res.total_nodes, res.sim_time, res.engine_events,
+        res.lost_work,
+        tuple(sorted(res.fault_counters.as_dict().items()))
+        if res.fault_counters is not None else None,
+        tuple(
+            (s.rank, s.nodes_visited, s.steal_attempts, s.steals_ok,
+             s.chunks_stolen, s.nodes_stolen, s.msgs_sent)
+            for s in res.per_thread
+        ),
+    )

@@ -1,0 +1,128 @@
+"""FaultPlan validation and the ``--faults`` spec grammar."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, parse_fault_spec
+
+
+class TestValidation:
+    def test_defaults_are_valid_and_inert(self):
+        plan = FaultPlan()
+        assert not plan.has_message_faults
+        assert not plan.has_kills
+
+    @pytest.mark.parametrize("field", ["msg_drop_rate", "msg_dup_rate",
+                                       "msg_delay_rate", "lock_stall_rate",
+                                       "stale_read_rate"])
+    def test_rates_clamped_to_unit_interval(self, field):
+        with pytest.raises(ConfigError, match=field):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ConfigError, match=field):
+            FaultPlan(**{field: -0.1})
+
+    def test_rank_zero_cannot_be_killed(self):
+        with pytest.raises(ConfigError, match="rank 0"):
+            FaultPlan(kill_ranks=(0,), kill_times=(1e-3,))
+
+    def test_kill_tuples_must_pair_up(self):
+        with pytest.raises(ConfigError, match="pair up"):
+            FaultPlan(kill_ranks=(1, 2), kill_times=(1e-3,))
+
+    def test_duplicate_kill_rank_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultPlan(kill_ranks=(3, 3), kill_times=(1e-3, 2e-3))
+
+    def test_negative_rank_and_time_rejected(self):
+        with pytest.raises(ConfigError, match="negative rank"):
+            FaultPlan(kill_ranks=(-1,), kill_times=(1e-3,))
+        with pytest.raises(ConfigError, match="negative kill time"):
+            FaultPlan(kill_ranks=(2,), kill_times=(-1e-3,))
+
+    def test_slow_factor_must_be_slowdown(self):
+        with pytest.raises(ConfigError, match="slow_factor"):
+            FaultPlan(slow_ranks=(1,), slow_factor=0.5)
+
+    def test_timeout_ordering(self):
+        with pytest.raises(ConfigError, match="steal_timeout_max"):
+            FaultPlan(steal_timeout=1e-3, steal_timeout_max=1e-4)
+
+    def test_heartbeat_miss_floor(self):
+        with pytest.raises(ConfigError, match="heartbeat_miss"):
+            FaultPlan(heartbeat_miss=0)
+
+    def test_with_seed_returns_new_plan(self):
+        plan = FaultPlan(msg_drop_rate=0.1)
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.msg_drop_rate == 0.1
+        assert plan.seed == 0  # original untouched (frozen)
+
+    def test_suspect_after(self):
+        plan = FaultPlan(heartbeat_period=10e-6, heartbeat_miss=4)
+        assert plan.suspect_after == pytest.approx(40e-6)
+
+    def test_hashable(self):
+        assert len({FaultPlan(), FaultPlan(), FaultPlan(seed=1)}) == 2
+
+
+class TestSpecGrammar:
+    def test_rates(self):
+        plan = parse_fault_spec("drop=0.05,dup=0.02,delay=0.1", seed=7)
+        assert plan.seed == 7
+        assert plan.msg_drop_rate == 0.05
+        assert plan.msg_dup_rate == 0.02
+        assert plan.msg_delay_rate == 0.1
+        assert plan.has_message_faults
+
+    def test_kills_repeatable(self):
+        plan = parse_fault_spec("kill=3@0.002,kill=5@0.004")
+        assert plan.kill_ranks == (3, 5)
+        assert plan.kill_times == (0.002, 0.004)
+
+    def test_unit_suffixes(self):
+        plan = parse_fault_spec(
+            "kill=3@2ms,timeout=500us,ring-timeout=1ms,heartbeat=50us,"
+            "stall-time=300ns,timeout-max=1s")
+        assert plan.kill_times == (pytest.approx(2e-3),)
+        assert plan.steal_timeout == pytest.approx(500e-6)
+        assert plan.ring_timeout == pytest.approx(1e-3)
+        assert plan.heartbeat_period == pytest.approx(50e-6)
+        assert plan.lock_stall_time == pytest.approx(300e-9)
+        assert plan.steal_timeout_max == pytest.approx(1.0)
+
+    def test_scientific_notation_not_mangled(self):
+        # '2e-6' ends in neither a bare unit nor a digit+unit; the 's'
+        # guard must not strip anything from it.
+        plan = parse_fault_spec("stall-time=2e-6,stall=0.1")
+        assert plan.lock_stall_time == pytest.approx(2e-6)
+
+    def test_slow_items_share_one_factor(self):
+        plan = parse_fault_spec("slow=2@4,slow=5@4")
+        assert plan.slow_ranks == (2, 5)
+        assert plan.slow_factor == 4.0
+        with pytest.raises(ConfigError, match="one factor"):
+            parse_fault_spec("slow=2@4,slow=5@8")
+
+    def test_unknown_key_lists_known(self):
+        with pytest.raises(ConfigError, match="unknown key 'boom'"):
+            parse_fault_spec("boom=1")
+
+    def test_malformed_items(self):
+        with pytest.raises(ConfigError, match="key=value"):
+            parse_fault_spec("drop")
+        with pytest.raises(ConfigError, match="not a number"):
+            parse_fault_spec("drop=lots")
+        with pytest.raises(ConfigError, match="RANK@VALUE"):
+            parse_fault_spec("kill=3")
+        with pytest.raises(ConfigError, match="not an integer"):
+            parse_fault_spec("kill=x@1ms")
+
+    def test_empty_items_tolerated(self):
+        plan = parse_fault_spec("drop=0.1,, ,dup=0.2,")
+        assert plan.msg_drop_rate == 0.1
+        assert plan.msg_dup_rate == 0.2
+
+    def test_spec_values_flow_through_validation(self):
+        with pytest.raises(ConfigError, match="rank 0"):
+            parse_fault_spec("kill=0@1ms")

@@ -1,0 +1,86 @@
+"""Timing faults (stalls, stale reads, slow threads) only cost time.
+
+None of these faults destroys work -- they stretch critical sections,
+let probes read outdated ``work_avail`` values, or slow a rank's
+compute -- so every algorithm still owes the exact sequential count,
+and the run can only get *slower*, never wrong.
+"""
+
+import pytest
+
+from repro.faults import parse_fault_spec
+from repro.harness.runner import expected_node_count, run_experiment
+
+from tests.faults.conftest import TREE
+
+ALGOS = ["mpi-ws", "upc-distmem", "upc-distmem-hier", "upc-sharedmem",
+         "upc-term", "upc-term-rapdif"]
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_stall_and_stale_exact_oracle(algorithm):
+    plan = parse_fault_spec("stall=0.3,stale=0.3", seed=13)
+    res = run_experiment(algorithm, tree=TREE, threads=8,
+                         preset="kittyhawk", chunk_size=4, verify=True,
+                         faults=plan)
+    assert res.total_nodes == expected_node_count(TREE)
+    assert res.lost_work == 0
+
+
+def test_lock_stalls_counted_and_slow():
+    spec_off = "stall=0.0,stall-time=200us"
+    spec_on = "stall=0.9,stall-time=200us"
+    base = run_experiment("upc-sharedmem", tree=TREE, threads=8,
+                          preset="kittyhawk", chunk_size=4, verify=True,
+                          faults=parse_fault_spec(spec_off, seed=2))
+    hit = run_experiment("upc-sharedmem", tree=TREE, threads=8,
+                         preset="kittyhawk", chunk_size=4, verify=True,
+                         faults=parse_fault_spec(spec_on, seed=2))
+    assert base.fault_counters.lock_stalls == 0
+    assert hit.fault_counters.lock_stalls > 0
+    # Stalls stretch every contended critical section.
+    assert hit.sim_time > base.sim_time
+    assert hit.total_nodes == base.total_nodes == expected_node_count(TREE)
+
+
+def test_stale_windows_open_and_resolve():
+    # Default 20us window: long enough that probes land inside it,
+    # short enough that progress is not throttled.  (Windows on the
+    # order of the probe backoff -- 40us and up here -- stay correct
+    # but slow the search by orders of magnitude; see
+    # docs/fault-model.md.)
+    res = run_experiment("upc-distmem", tree=TREE, threads=8,
+                         preset="kittyhawk", chunk_size=4, verify=True,
+                         faults=parse_fault_spec("stale=0.5", seed=4))
+    c = res.fault_counters
+    assert c.stale_windows > 0
+    # Some probe actually read through an open window.
+    assert c.stale_reads > 0
+    assert res.total_nodes == expected_node_count(TREE)
+
+
+def test_mutual_thief_stale_read_deadlock_regression():
+    # This exact cell (fault matrix, seed=1) once deadlocked: two
+    # thieves stale-read avail > 0 on *each other*, both wrote requests
+    # and blocked on the other's response, and a blocked thief never
+    # serviced its own request slot.  try_steal's deny-while-waiting
+    # loop (faulted runs only) breaks the cycle; fault-free runs cannot
+    # form it because a requester's own work_avail is a fresh NO_WORK.
+    plan = parse_fault_spec("stall=0.3,stale=0.2", seed=1)
+    res = run_experiment("upc-distmem", tree=TREE, threads=8,
+                         preset="kittyhawk", chunk_size=4, verify=True,
+                         faults=plan)
+    assert res.total_nodes == expected_node_count(TREE)
+    assert res.lost_work == 0
+
+
+def test_slow_ranks_stretch_the_run():
+    base = run_experiment("upc-distmem", tree=TREE, threads=8,
+                          preset="kittyhawk", chunk_size=4, verify=True,
+                          faults=parse_fault_spec("stall=0.0", seed=6))
+    slow = run_experiment("upc-distmem", tree=TREE, threads=8,
+                          preset="kittyhawk", chunk_size=4, verify=True,
+                          faults=parse_fault_spec("slow=2@8,slow=5@8",
+                                                  seed=6))
+    assert slow.total_nodes == expected_node_count(TREE)
+    assert slow.sim_time > base.sim_time

@@ -1,13 +1,17 @@
 """Parallel sweep engine: determinism, failure identity, job plumbing."""
 
+import os
 import pickle
+import time
 
 import pytest
 
-from repro.errors import SweepWorkerError
+from repro.errors import ConfigError, SweepWorkerError
+from repro.harness import parallel
 from repro.harness.config import setup_for
-from repro.harness.parallel import (JobSpec, execute_jobs, expected_nodes_for,
-                                    fork_available, resolve_jobs, shared_tree)
+from repro.harness.parallel import (JobSpec, JobTimeout, execute_jobs,
+                                    expected_nodes_for, fork_available,
+                                    job_timeout, resolve_jobs, shared_tree)
 from repro.harness.sweep import run_sweep
 from repro.uts.materialized import MaterializedTree
 from repro.uts.params import TreeParams
@@ -144,6 +148,92 @@ class TestPlumbing:
 
     def test_empty_job_list(self):
         assert execute_jobs([], n_jobs=4) == []
+
+
+class TestHardening:
+    """Retry-once, exception chaining, and env-var validation."""
+
+    def _job(self):
+        return JobSpec(index=0, algorithm="upc-distmem", tree=SETUP.tree,
+                       threads=2, preset=SETUP.preset, chunk_size=4,
+                       expected_nodes=expected_nodes_for(SETUP.tree))
+
+    def test_resolve_jobs_rejects_non_integer_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError, match="'many'"):
+            resolve_jobs(None)
+
+    def test_resolve_jobs_rejects_negative_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(ConfigError, match="'-2'"):
+            resolve_jobs(None)
+
+    def test_resolve_jobs_env_zero_means_one_per_cpu(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_job_timeout_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        assert job_timeout() == 0.0
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "2.5")
+        assert job_timeout() == 2.5
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "soon")
+        with pytest.raises(ConfigError, match="'soon'"):
+            job_timeout()
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "-1")
+        with pytest.raises(ConfigError, match="'-1'"):
+            job_timeout()
+
+    def test_transient_failure_retried_once(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        real = parallel._execute_job
+        calls = []
+
+        def flaky(job):
+            calls.append(job.index)
+            if len(calls) == 1:
+                raise OSError("transient host trouble")
+            return real(job)
+
+        monkeypatch.setattr(parallel, "_execute_job", flaky)
+        before = parallel.retried_jobs
+        results = execute_jobs([self._job()], n_jobs=1)
+        assert len(results) == 1 and results[0].total_nodes > 0
+        assert calls == [0, 0]
+        assert parallel.retried_jobs == before + 1
+
+    def test_persistent_failure_chains_cause(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+
+        def broken(job):
+            raise ValueError("always broken")
+
+        monkeypatch.setattr(parallel, "_execute_job", broken)
+        with pytest.raises(SweepWorkerError) as err:
+            execute_jobs([self._job()], n_jobs=1)
+        assert isinstance(err.value.__cause__, ValueError)
+        assert "always broken" in str(err.value)
+        assert "upc-distmem" in str(err.value)
+
+    def test_job_timeout_interrupts_and_is_not_retried(self, monkeypatch):
+        calls = []
+
+        def hangs(job):
+            calls.append(1)
+            time.sleep(10.0)
+            raise AssertionError("deadline never fired")
+
+        monkeypatch.setattr(parallel, "_execute_job", hangs)
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "0.1")
+        with pytest.raises(SweepWorkerError, match="REPRO_JOB_TIMEOUT") as err:
+            execute_jobs([self._job()], n_jobs=1)
+        assert isinstance(err.value.__cause__, JobTimeout)
+        assert calls == [1]  # timeouts are not retried
+
+    def test_no_timeout_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        results = execute_jobs([self._job()], n_jobs=1)
+        assert results[0].total_nodes == expected_nodes_for(SETUP.tree)
 
 
 class TestSharedTreeInRunner:

@@ -1,0 +1,83 @@
+"""Diagnostic quality of the engine's failure modes.
+
+``test_engine.py`` proves the engine *raises*; these tests pin down
+what the exceptions *say* and how they classify -- a livelock or a
+deadlock deep inside a fault-injection sweep is only debuggable if the
+error names the budget, the simulated time, and the number of wedged
+processes, and if callers can catch the whole family as
+:class:`SimulationError`.
+"""
+
+import pytest
+
+from repro.errors import (DeadlockError, EventLimitExceeded, ReproError,
+                          SimulationError)
+from repro.sim.engine import Simulator, Timeout
+
+
+def test_hierarchy():
+    assert issubclass(EventLimitExceeded, SimulationError)
+    assert issubclass(DeadlockError, SimulationError)
+    assert issubclass(SimulationError, ReproError)
+
+
+def test_event_limit_message_names_budget_and_time():
+    sim = Simulator(max_events=7)
+
+    def spinner():
+        while True:
+            yield Timeout(0.5)
+
+    sim.spawn(spinner())
+    with pytest.raises(EventLimitExceeded) as err:
+        sim.run()
+    msg = str(err.value)
+    assert "7 events" in msg
+    assert "t=" in msg
+    assert "livelock" in msg
+
+
+def test_deadlock_message_counts_blocked_processes():
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def stuck():
+        yield ev
+
+    for _ in range(3):
+        sim.spawn(stuck())
+    sim.run()
+    with pytest.raises(DeadlockError, match="3 process\\(es\\) blocked"):
+        sim.check_quiescent()
+
+
+def test_quiescent_after_clean_finish():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run()
+    sim.check_quiescent()  # all processes done: silent
+
+
+def test_no_deadlock_report_while_heap_live():
+    """``run(until=...)`` pausing mid-flight is not a deadlock."""
+    sim = Simulator()
+    ev = sim.event("late")
+
+    def firer():
+        yield Timeout(10.0)
+        ev.succeed(None)
+
+    def waiter():
+        yield ev
+
+    sim.spawn(firer())
+    sim.spawn(waiter())
+    sim.run(until=1.0)
+    sim.check_quiescent()  # firer's timeout is still pending: no error
+    sim.run()
+    sim.check_quiescent()
+    assert ev.fired

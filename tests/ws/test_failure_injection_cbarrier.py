@@ -52,7 +52,7 @@ def test_oracle_catches_steal_before_decrement():
         barrier.count += 1
         yield from ctx.unlock(barrier.lock)
         ev = machine.sim.event(f"waiter.T{ctx.rank}")
-        barrier._waiters.append(ev)
+        barrier._waiters.append((ctx.rank, ev))
         outcome = yield ev
         assert outcome == "cancelled"
         # BUG: steal right away, still counted in the barrier.
