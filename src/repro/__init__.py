@@ -36,6 +36,7 @@ from repro.harness.runner import expected_node_count, run_experiment
 from repro.harness.sweep import run_sweep
 from repro.metrics import RunResult
 from repro.net import ALTIX, KITTYHAWK, PRESETS, SHAREDMEM, TOPSAIL, NetworkModel, get_preset
+from repro.obs import TraceSink
 from repro.uts import (T1_PAPER, T3_PAPER, MaterializedTree, Tree, TreeParams,
                        count_tree, materialize)
 from repro.ws import ALGORITHMS, FIGURE_ORDER, WsConfig, get_algorithm
@@ -61,6 +62,7 @@ __all__ = [
     "ALTIX",
     "SHAREDMEM",
     "WsConfig",
+    "TraceSink",
     "FaultPlan",
     "FaultCounters",
     "parse_fault_spec",

@@ -92,6 +92,12 @@ class FaultRuntime:
         """Bind the algorithm instance (after its construction)."""
         self.algo = algo
 
+    def _trace(self, rank: int, kind: str, detail: str = "") -> None:
+        """Record an injection/recovery event (no-op when tracing is off)."""
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.emit(self.machine.sim.now, rank, kind, detail)
+
     @property
     def watching_deaths(self) -> bool:
         return self.plan.has_kills
@@ -102,6 +108,8 @@ class FaultRuntime:
         """Decide a posted message's fate; returns deliveries (0..2)."""
         if msg.dst in self.dead:
             self.counters.msgs_to_dead += 1
+            self._trace(msg.dst, "fault.msg_to_dead",
+                        f"src=T{msg.src} tag={msg.tag}")
             self.algo.on_msg_to_dead(msg)
             return []
         plan = self.plan
@@ -109,12 +117,15 @@ class FaultRuntime:
                 and msg.tag in self.algo.droppable_tags
                 and self._drop.chance(plan.msg_drop_rate)):
             self.counters.msgs_dropped += 1
+            self._trace(msg.dst, "fault.drop", f"src=T{msg.src} tag={msg.tag}")
             return []
         if (plan.msg_delay_rate > 0.0
                 and self._delay.chance(plan.msg_delay_rate)):
             extra = self._delay.uniform(0.0, plan.msg_delay_max)
             msg = replace(msg, arrival_time=msg.arrival_time + extra)
             self.counters.msgs_delayed += 1
+            self._trace(msg.dst, "fault.delay",
+                        f"src=T{msg.src} tag={msg.tag} extra={extra:g}")
         out = [msg]
         if (plan.msg_dup_rate > 0.0
                 and msg.tag in self.algo.duplicable_tags
@@ -122,15 +133,21 @@ class FaultRuntime:
             late = self._dup.uniform(0.0, plan.msg_delay_max)
             out.append(replace(msg, arrival_time=msg.arrival_time + late))
             self.counters.msgs_duplicated += 1
+            self._trace(msg.dst, "fault.dup", f"src=T{msg.src} tag={msg.tag}")
         return out
 
     # -- timing faults -----------------------------------------------------
 
-    def roll_lock_stall(self) -> float:
-        """Extra hold time to inject into the current lock release."""
+    def roll_lock_stall(self, rank: int = -1) -> float:
+        """Extra hold time to inject into the current lock release.
+
+        ``rank`` identifies the stalled holder in the trace stream only;
+        the roll itself is rank-independent.
+        """
         plan = self.plan
         if plan.lock_stall_rate > 0.0 and self._stall.chance(plan.lock_stall_rate):
             self.counters.lock_stalls += 1
+            self._trace(rank, "fault.stall", f"t={plan.lock_stall_time:g}")
             return plan.lock_stall_time
         return 0.0
 
@@ -141,6 +158,8 @@ class FaultRuntime:
             var.stale_value = var.value
             var.stale_until = self.machine.sim.now + plan.stale_read_window
             self.counters.stale_windows += 1
+            self._trace(var.home, "fault.stale",
+                        f"var={var.name} until={var.stale_until:g}")
 
     # -- failure detection -------------------------------------------------
 
@@ -159,6 +178,7 @@ class FaultRuntime:
         if rank not in self._suspicion_seen:
             self._suspicion_seen.add(rank)
             self.counters.heartbeat_suspicions += 1
+            self._trace(rank, "fault.suspect", f"T{rank}")
         return True
 
     # -- work-transfer journal ---------------------------------------------
@@ -185,6 +205,7 @@ class FaultRuntime:
         self.counters.lost_nodes += len(nodes)
         if on_stack:
             self._lost_stack_nodes += len(nodes)
+        self._trace(-1, "fault.lost", f"nodes={len(nodes)}")
 
     def on_thread_death(self, rank: int) -> None:
         """Account a fail-stopped thread's work; keep the ledger exact.
@@ -196,6 +217,7 @@ class FaultRuntime:
         algo = self.algo
         self.dead.add(rank)
         self.counters.threads_killed += 1
+        self._trace(rank, "fault.kill", f"T{rank}")
         # A transfer open in the dead thread's frame: the nodes were
         # popped from a victim and exist only in the corpse.
         nodes = self._open_transfer.pop(rank, None)

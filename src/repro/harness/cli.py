@@ -55,6 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0, metavar="N",
         help="seed for the fault plan's own random streams (independent "
              "of the tree and probe-order seeds)")
+    run_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a structured trace of the run and write it here "
+             "(see docs/observability.md)")
+    run_p.add_argument(
+        "--trace-format", choices=["chrome", "jsonl", "report"], default=None,
+        help="trace output format: 'chrome' (Perfetto / chrome://tracing "
+             "JSON), 'jsonl' (diffable event log), 'report' (Markdown run "
+             "report); default: inferred from PATH's extension "
+             "(.jsonl -> jsonl, .md -> report, else chrome)")
 
     for fig in ("fig4", "fig5", "fig6", "ablation", "claims", "all"):
         fp = sub.add_parser(fig, help=f"reproduce {fig}")
@@ -96,6 +106,35 @@ def _echo(line: str) -> None:
     print(line, flush=True)
 
 
+def _trace_format(args: argparse.Namespace) -> str:
+    """Explicit --trace-format, else inferred from the path's suffix."""
+    if args.trace_format:
+        return args.trace_format
+    path = args.trace.lower()
+    if path.endswith(".jsonl"):
+        return "jsonl"
+    if path.endswith((".md", ".markdown")):
+        return "report"
+    return "chrome"
+
+
+def _write_trace(args: argparse.Namespace, sink) -> None:
+    from repro.obs import dump_chrome_trace, dump_jsonl, render_trace_report
+
+    fmt = _trace_format(args)
+    events = sink.events()
+    meta = sink.meta
+    if fmt == "chrome":
+        dump_chrome_trace(args.trace, events, n_threads=meta.get("threads"),
+                          sim_time=meta.get("sim_time"), meta=meta)
+    elif fmt == "jsonl":
+        dump_jsonl(args.trace, events, meta)
+    else:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(render_trace_report(events, meta))
+    print(f"wrote {fmt} trace ({len(events)} events) to {args.trace}")
+
+
 def _run_single(args: argparse.Namespace) -> int:
     tree = TreeParams.binomial(b0=args.b0, q=args.q, seed=args.tree_seed,
                                engine=args.engine)
@@ -104,9 +143,14 @@ def _run_single(args: argparse.Namespace) -> int:
         from repro.faults import parse_fault_spec
 
         plan = parse_fault_spec(args.faults, seed=args.fault_seed)
+    sink = None
+    if args.trace:
+        from repro.obs import TraceSink
+
+        sink = TraceSink()
     res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
                          preset=args.preset, chunk_size=args.chunk_size,
-                         verify=not args.no_verify, faults=plan)
+                         verify=not args.no_verify, faults=plan, tracer=sink)
     print(res.summary())
     print(f"working-state share: {100 * res.working_fraction:.1f}%")
     if res.fault_counters is not None:
@@ -115,6 +159,8 @@ def _run_single(args: argparse.Namespace) -> int:
         if nz:
             print("fault counters: "
                   + " ".join(f"{k}={v}" for k, v in sorted(nz.items())))
+    if sink is not None:
+        _write_trace(args, sink)
     return 0
 
 

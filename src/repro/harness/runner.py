@@ -21,6 +21,7 @@ from repro.faults.runtime import FaultRuntime
 from repro.metrics.report import RunResult
 from repro.net.model import NetworkModel
 from repro.net.presets import get_preset
+from repro.obs.sink import TraceSink
 from repro.pgas.machine import Machine
 from repro.sim.trace import Tracer
 from repro.uts.params import TreeParams
@@ -163,6 +164,14 @@ def run_experiment(
         lost_work=lost_work,
         fault_counters=fault_rt.counters if fault_rt is not None else None,
     )
+    if isinstance(tracer, TraceSink):
+        tracer.set_meta(
+            algorithm=algo.name, threads=threads, chunk_size=cfg.chunk_size,
+            machine=network.name, tree=tree_desc, seed=seed,
+            sim_time=sim_time, total_nodes=algo.total_nodes,
+            faulted=cfg.faults is not None,
+        )
+        result.trace = tracer
     if verify:
         result.verify(expected_node_count(tree))
     return result

@@ -45,6 +45,10 @@ class RunResult:
     #: Per-fault-type injection and recovery counters; None on
     #: fault-free runs.
     fault_counters: Optional[FaultCounters] = field(default=None, repr=False)
+    #: The run's :class:`~repro.obs.TraceSink` when one was passed as
+    #: ``tracer=`` (its ``meta`` filled in by the runner); None when the
+    #: run was untraced.  Feed it to :mod:`repro.obs` exporters/analyses.
+    trace: Optional[object] = field(default=None, repr=False)
 
     # -- derived metrics ----------------------------------------------------
 

@@ -1,0 +1,176 @@
+"""Derived trace analyses: the numbers behind the paper's discussion.
+
+Everything here is a pure function of a run's event list:
+
+* :func:`state_occupancy` -- per-rank seconds in each Figure-1 state,
+  the table behind Sect. 6.2's "93% of threads' time in the working
+  state".
+* :func:`steal_matrix` -- who stole from whom (successful steals and
+  nodes moved), exposing victim hot-spots.
+* :func:`steal_latencies` / :func:`steal_latency_histogram` -- time
+  from a thief's request to its outcome, per attempt.
+* :func:`termination_breakdown` -- barrier entries/exits, when
+  termination was announced, and each rank's share of time in the
+  detection phase.
+
+All functions accept the event list from
+:meth:`~repro.obs.sink.TraceSink.events` or
+:func:`~repro.obs.jsonl.load_jsonl` interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.states import SEARCHING, STATES, WORKING
+from repro.obs.events import ObsEvent
+
+__all__ = [
+    "state_occupancy",
+    "steal_matrix",
+    "steal_latencies",
+    "steal_latency_histogram",
+    "termination_breakdown",
+]
+
+#: Steal outcomes that close a ``steal.req`` transaction on the thief.
+_STEAL_OUTCOMES = ("steal", "steal.fail")
+
+
+def _infer_shape(events: List[ObsEvent], n_threads: Optional[int],
+                 sim_time: Optional[float]) -> Tuple[int, float]:
+    if n_threads is None:
+        n_threads = max((e.rank for e in events), default=-1) + 1 or 1
+    if sim_time is None:
+        sim_time = max((e.time for e in events), default=0.0)
+    return n_threads, sim_time
+
+
+def state_occupancy(events: List[ObsEvent], n_threads: Optional[int] = None,
+                    sim_time: Optional[float] = None
+                    ) -> Dict[int, Dict[str, float]]:
+    """Seconds each rank spent in each state, from ``state`` events.
+
+    Matches the run's :class:`~repro.metrics.states.StateTimer`
+    accounting exactly (same transition stream, same initial states:
+    rank 0 working, the rest searching).
+    """
+    n_threads, sim_time = _infer_shape(events, n_threads, sim_time)
+    occupancy = {r: dict.fromkeys(STATES, 0.0) for r in range(n_threads)}
+    current = {r: (WORKING if r == 0 else SEARCHING, 0.0)
+               for r in range(n_threads)}
+    for ev in events:
+        if ev.kind != "state" or ev.rank not in current:
+            continue
+        state, since = current[ev.rank]
+        occupancy[ev.rank][state] += ev.time - since
+        current[ev.rank] = (ev.args.get("state", state), ev.time)
+    for rank, (state, since) in current.items():
+        occupancy[rank][state] += max(sim_time - since, 0.0)
+    return occupancy
+
+
+def steal_matrix(events: List[ObsEvent], n_threads: Optional[int] = None
+                 ) -> Tuple[List[List[int]], List[List[int]]]:
+    """``(steals, nodes)`` matrices indexed ``[thief][victim]``.
+
+    Counts successful steals only (``steal`` events); the row sums
+    equal each thief's ``steals_ok`` counter and the column sums show
+    which victims fed the run.
+    """
+    n_threads, _ = _infer_shape(events, n_threads, None)
+    steals = [[0] * n_threads for _ in range(n_threads)]
+    nodes = [[0] * n_threads for _ in range(n_threads)]
+    for ev in events:
+        if ev.kind != "steal":
+            continue
+        victim = ev.args.get("from")
+        if victim is None or not (0 <= ev.rank < n_threads) \
+                or not (0 <= victim < n_threads):
+            continue
+        steals[ev.rank][victim] += 1
+        nodes[ev.rank][victim] += ev.args.get("nodes", 0)
+    return steals, nodes
+
+
+def steal_latencies(events: List[ObsEvent]) -> List[Tuple[str, float]]:
+    """``(outcome, seconds)`` per completed steal attempt.
+
+    A thief runs one steal transaction at a time, so each rank's
+    ``steal.req`` is matched with that rank's next ``steal`` or
+    ``steal.fail``.  Attempts still open when the trace ends (e.g. a
+    request outstanding at termination) are dropped.
+    """
+    open_req: Dict[int, float] = {}
+    out: List[Tuple[str, float]] = []
+    for ev in events:
+        if ev.kind == "steal.req":
+            open_req[ev.rank] = ev.time
+        elif ev.kind in _STEAL_OUTCOMES:
+            t0 = open_req.pop(ev.rank, None)
+            if t0 is not None:
+                outcome = ("ok" if ev.kind == "steal"
+                           else ev.args.get("reason", "fail"))
+                out.append((outcome, ev.time - t0))
+    return out
+
+
+def steal_latency_histogram(events: List[ObsEvent]
+                            ) -> List[Tuple[float, float, int]]:
+    """Power-of-two microsecond buckets: ``(lo_us, hi_us, count)``.
+
+    Buckets cover every observed latency; empty interior buckets are
+    included so histograms of different runs line up when diffed.
+    """
+    latencies = [dt for _, dt in steal_latencies(events)]
+    if not latencies:
+        return []
+    edges: List[float] = [0.0, 1.0]
+    while max(latencies) * 1e6 >= edges[-1]:
+        edges.append(edges[-1] * 2)
+    buckets = []
+    for lo, hi in zip(edges, edges[1:]):
+        count = sum(1 for dt in latencies if lo <= dt * 1e6 < hi)
+        buckets.append((lo, hi, count))
+    return buckets
+
+
+def termination_breakdown(events: List[ObsEvent],
+                          n_threads: Optional[int] = None,
+                          sim_time: Optional[float] = None
+                          ) -> Dict[str, object]:
+    """How the run ended: barrier churn and the announcement tail.
+
+    Returns a dict with per-rank ``barrier_seconds`` /
+    ``barrier_entries`` / ``barrier_exits``, the simulated time of the
+    termination announcement (``announce_time``; the first
+    ``sbarrier.announce`` / ``cbarrier.terminate`` / ``mpi.term``
+    event, or None), and ``tail_seconds`` -- simulated time between
+    the announcement and the end of the run.
+    """
+    n_threads, sim_time = _infer_shape(events, n_threads, sim_time)
+    occupancy = state_occupancy(events, n_threads, sim_time)
+    entries = [0] * n_threads
+    exits = [0] * n_threads
+    prev_state = {r: (WORKING if r == 0 else SEARCHING)
+                  for r in range(n_threads)}
+    announce: Optional[float] = None
+    for ev in events:
+        if ev.kind == "state" and ev.rank in prev_state:
+            state = ev.args.get("state", "")
+            if state == "barrier" and prev_state[ev.rank] != "barrier":
+                entries[ev.rank] += 1
+            elif state != "barrier" and prev_state[ev.rank] == "barrier":
+                exits[ev.rank] += 1
+            prev_state[ev.rank] = state
+        elif announce is None and ev.kind in (
+                "sbarrier.announce", "cbarrier.terminate", "mpi.term"):
+            announce = ev.time
+    return {
+        "barrier_seconds": [occupancy[r]["barrier"] for r in range(n_threads)],
+        "barrier_entries": entries,
+        "barrier_exits": exits,
+        "announce_time": announce,
+        "tail_seconds": (sim_time - announce) if announce is not None else None,
+        "sim_time": sim_time,
+    }

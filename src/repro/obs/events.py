@@ -1,0 +1,169 @@
+"""Typed observability events: the parsed form of raw trace records.
+
+The tracer plumbing (:mod:`repro.sim.trace`) records flat
+``(time, thread, kind, detail)`` tuples because that is the cheapest
+thing to append from a hot protocol path.  This module gives those
+records structure after the fact: :func:`parse_events` turns them into
+:class:`ObsEvent` objects whose ``args`` mapping has typed values
+(ranks as ints, counts as ints, times as floats), and
+:data:`EVENT_SCHEMA` documents every kind the instrumented stack emits.
+
+Detail strings follow one convention: space-separated ``key=value``
+tokens, with rank-valued entries written ``T<rank>``.  Two legacy
+forms are special-cased (``msg.send``'s ``->T2 TAG`` and
+``msg.recv``'s ``<-T1 TAG``) and the bare detail of ``state`` events
+becomes ``{"state": ...}``.
+
+>>> from repro.sim.trace import TraceRecord
+>>> rec = TraceRecord(2e-6, 3, "steal", "from=T1 chunks=2 nodes=16")
+>>> ev = parse_events([rec])[0]
+>>> ev.rank, ev.args["from"], ev.args["nodes"]
+(3, 1, 16)
+>>> parse_events([TraceRecord(0.0, 0, "state", "working")])[0].args
+{'state': 'working'}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+from repro.sim.trace import TraceRecord
+
+__all__ = ["ObsEvent", "EVENT_SCHEMA", "parse_detail", "parse_events"]
+
+#: Every event kind the instrumented stack can emit, with the meaning
+#: of the event and the keys its ``args`` carry.  This is the schema
+#: reference backing ``docs/observability.md``.
+EVENT_SCHEMA: Dict[str, str] = {
+    # -- state machine (Figure 1) -------------------------------------
+    "state": "thread entered a Figure-1 state; args: state",
+    # -- tree exploration ---------------------------------------------
+    "visit": "batch of node visits charged at the batch start; args: n",
+    # -- stack traffic ------------------------------------------------
+    "release": "owner moved a chunk local->shared; args: chunks (now shared)",
+    # -- steal protocol (thief side) ----------------------------------
+    "steal.req": "thief initiated a steal attempt; args: victim",
+    "steal": "steal succeeded, nodes in hand; args: from, chunks, nodes",
+    "steal.fail": "steal attempt ended empty; args: victim, reason "
+                  "(busy|raced|empty|denied|giveup|timeout)",
+    # -- steal protocol (victim side) ---------------------------------
+    "service": "victim answered a steal request (chunks=0 on a denial); "
+               "args: thief, chunks",
+    "steal.deny": "victim denied a steal request (no surplus); args: thief",
+    # -- data movement -------------------------------------------------
+    "chunk.get": "one-sided chunk transfer completed; args: src, nodes",
+    # -- locks ---------------------------------------------------------
+    "lock.acq": "global lock acquired; detail: lock name",
+    "lock.rel": "global lock released; detail: lock name",
+    # -- messaging (mpi-ws substrate) ---------------------------------
+    "msg.send": "two-sided send posted; args: dst, tag",
+    "msg.recv": "blocking receive completed; args: src, tag",
+    # -- termination ---------------------------------------------------
+    "sbarrier.enter": "streamlined barrier entered; args: count",
+    "sbarrier.leave": "streamlined barrier left for a steal; args: count",
+    "sbarrier.announce": "tree announcement of global termination",
+    "cbarrier.cancel": "cancelable barrier reset by a release",
+    "cbarrier.terminate": "cancelable barrier completed (termination)",
+    "token.hop": "termination token forwarded along the ring; args: to, "
+                 "colour [, round, deficit]",
+    "mpi.term": "rank 0 broadcast TERM",
+    # -- fault injections ----------------------------------------------
+    "fault.kill": "thread fail-stopped (rank = victim of the kill)",
+    "fault.drop": "control message dropped; args: src, tag",
+    "fault.dup": "control message duplicated; args: src, tag",
+    "fault.delay": "message delayed; args: src, tag, extra",
+    "fault.stall": "lock holder stalled through a release; args: t",
+    "fault.stale": "stale-visibility window opened; args: var, until",
+    "fault.suspect": "failure detector first suspected a rank",
+    "fault.msg_to_dead": "message to a dead rank discarded; args: src, tag",
+    "fault.lost": "node descriptors accounted as lost; args: nodes",
+    # -- recovery paths ------------------------------------------------
+    "recover.giveup": "thief abandoned a steal on a suspected-dead victim; "
+                      "args: victim",
+    "recover.steal_timeout": "mpi-ws steal transaction timed out and was "
+                             "retried; args: victim",
+    "recover.token_relaunch": "rank 0 relaunched a lost ring token; "
+                              "args: round",
+    "recover.dup_suppressed": "duplicate steal request suppressed by "
+                              "sequence; args: thief, seq",
+    "recover.barrier_death": "counted barrier completed by death "
+                             "accounting; args: count",
+    # -- engine --------------------------------------------------------
+    "sim.interrupt": "a process was interrupted (fail-stop primitive); "
+                     "detail: process name",
+}
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured event: when, who, what, and typed arguments."""
+
+    time: float
+    rank: int
+    kind: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the JSONL exporter's line payload)."""
+        return {"t": self.time, "rank": self.rank, "kind": self.kind,
+                "args": self.args}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ObsEvent":
+        return cls(time=d["t"], rank=d["rank"], kind=d["kind"],
+                   args=dict(d.get("args", {})))
+
+
+def _parse_value(text: str) -> Any:
+    """``T3`` -> 3, ``42`` -> 42, ``1.5e-6`` -> 1.5e-6, else the string."""
+    if len(text) > 1 and text[0] == "T" and text[1:].isdigit():
+        return int(text[1:])
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_detail(kind: str, detail: str) -> Dict[str, Any]:
+    """Parse one record's detail string into a typed args mapping.
+
+    >>> parse_detail("steal", "from=T2 chunks=1 nodes=8")
+    {'from': 2, 'chunks': 1, 'nodes': 8}
+    >>> parse_detail("msg.send", "->T5 REQUEST")
+    {'dst': 5, 'tag': 'REQUEST'}
+    >>> parse_detail("lock.acq", "req_lock[3]")
+    {'name': 'req_lock[3]'}
+    """
+    if not detail:
+        return {}
+    if kind == "state":
+        return {"state": detail}
+    if kind == "msg.send" and detail.startswith("->"):
+        dst, _, tag = detail[2:].partition(" ")
+        return {"dst": _parse_value(dst), "tag": tag}
+    if kind == "msg.recv" and detail.startswith("<-"):
+        src, _, tag = detail[2:].partition(" ")
+        return {"src": _parse_value(src), "tag": tag}
+    args: Dict[str, Any] = {}
+    extras: List[str] = []
+    for token in detail.split():
+        key, eq, value = token.partition("=")
+        if eq:
+            args[key] = _parse_value(value)
+        else:
+            extras.append(token)
+    if extras:
+        # Bare tokens (e.g. a lock name) keep the whole phrase.
+        args["name"] = " ".join(extras)
+    return args
+
+
+def parse_events(records: Iterable[TraceRecord]) -> List[ObsEvent]:
+    """Parse raw trace records into structured events, order-preserving."""
+    return [ObsEvent(r.time, r.thread, r.kind, parse_detail(r.kind, r.detail))
+            for r in records]

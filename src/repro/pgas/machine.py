@@ -44,6 +44,9 @@ class Machine:
         self.seed = seed
         self.sim = Simulator(max_events=max_events)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Engine-level hook: lets Simulator.interrupt record fail-stops
+        # into the same trace stream (no-op when tracing is off).
+        self.sim.tracer = self.tracer
         self.contexts = [UpcContext(self, rank) for rank in range(threads)]
         self._procs: list[Process] = []
         #: Fault-injection runtime (:class:`repro.faults.runtime.FaultRuntime`)
@@ -178,6 +181,10 @@ class UpcContext:
         cost = self.net.chunk_transfer(self.rank, src_rank, nnodes)
         if cost > 0:
             yield Timeout(cost)
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, self.rank, "chunk.get",
+                    f"src=T{src_rank} nodes={nnodes}")
 
     def lock(self, lk: GlobalLock) -> Gen:
         """Acquire a global lock (network cost + FIFO queueing)."""
@@ -191,6 +198,9 @@ class UpcContext:
         yield ev
         lk.pending.pop(self.rank, None)
         lk.holder = self.rank
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, self.rank, "lock.acq", lk.name)
 
     def try_lock(self, lk: GlobalLock) -> Gen:
         """``upc_lock_attempt``: pay the round trip, maybe get the lock."""
@@ -200,6 +210,9 @@ class UpcContext:
         got = lk.fifo.try_acquire()
         if got:
             lk.holder = self.rank
+            tr = self.machine.tracer
+            if tr.enabled:
+                tr.emit(self.sim.now, self.rank, "lock.acq", lk.name)
         return got
 
     def unlock(self, lk: GlobalLock) -> Gen:
@@ -209,13 +222,16 @@ class UpcContext:
             yield Timeout(cost)
         faults = self.machine.faults
         if faults is not None:
-            stall = faults.roll_lock_stall()
+            stall = faults.roll_lock_stall(self.rank)
             if stall > 0.0:
                 # Lock-holder stall fault: keep holding through the
                 # stall so contenders queue behind the sleeper.
                 yield Timeout(stall)
         lk.holder = None
         lk.fifo.release()
+        tr = self.machine.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, self.rank, "lock.rel", lk.name)
 
     def wait(self, ev: SimEvent) -> Gen:
         """Block on a simulation event (used by gates/termination trees)."""

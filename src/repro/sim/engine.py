@@ -172,6 +172,11 @@ class Simulator:
         self._heap: list[tuple[float, int, Process, Any]] = []
         self._seq = 0
         self._live_processes = 0
+        #: Optional :class:`repro.sim.trace.Tracer` for engine-level
+        #: events (interrupts).  Set by the owning machine when tracing
+        #: is enabled; None costs one attribute test on those paths and
+        #: never perturbs scheduling (tracers only append to a list).
+        self.tracer = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -213,6 +218,10 @@ class Simulator:
         """
         if not proc.alive:
             return
+        if self.tracer is not None and self.tracer.enabled:
+            name = proc.name
+            rank = int(name[1:]) if name[:1] == "T" and name[1:].isdigit() else -1
+            self.tracer.emit(self.now, rank, "sim.interrupt", name)
         value: Any = None
         try:
             proc.body.throw(exc)

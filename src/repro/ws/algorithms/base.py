@@ -151,11 +151,14 @@ class AlgorithmBase:
         local = stack.local
         limit = self.cfg.poll_interval
         thresh = self.cfg.release_threshold
+        tr = self.machine.tracer
         if self._batch_expand is not None:
             n, pushed = self._batch_expand(local, limit, thresh)
             stack.pops += n
             stack.pushes += pushed
             self.stats[rank].nodes_visited += n
+            if tr.enabled and n:
+                tr.emit(self.machine.sim.now, rank, "visit", f"n={n}")
             return n
         children = self.tree.children
         n = 0
@@ -171,6 +174,8 @@ class AlgorithmBase:
         stack.pops += n
         stack.pushes += pushed
         self.stats[rank].nodes_visited += n
+        if tr.enabled and n:
+            tr.emit(self.machine.sim.now, rank, "visit", f"n={n}")
         return n
 
     # -- run finalization -----------------------------------------------------

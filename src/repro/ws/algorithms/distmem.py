@@ -85,6 +85,7 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         else:
             chunks = nodes = []
             st.requests_denied += 1
+            ctx.trace("steal.deny", f"thief=T{thief}")
         # Two remote writes (amount given + address of the work).  These
         # are one-sided puts issued outside any critical section: the
         # victim pays only local injection overhead and keeps working;
@@ -120,18 +121,21 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         rank = ctx.rank
         st = self.stats[rank]
         st.steal_attempts += 1
+        ctx.trace("steal.req", f"victim=T{victim}")
         lk = self.req_locks[victim]
         # "Attempts to write its thread ID" -- a lock *attempt*: if the
         # slot's lock is held, another thief is requesting; rather than
         # queue (and pile up like the lock-based steal), move on.
         got = yield from ctx.try_lock(lk)
         if not got:
+            ctx.trace("steal.fail", f"victim=T{victim} reason=busy")
             return False
         # Read the request variable under its lock.
         yield from ctx.compute(self.net.shared_ref(rank, victim))
         if self.request[victim].value is not None:
             # Another thief got there first this round.
             yield from ctx.unlock(lk)
+            ctx.trace("steal.fail", f"victim=T{victim} reason=raced")
             return False
         ev = self.machine.sim.event(name=f"response.T{rank}")
         self.response_events[rank] = ev
@@ -165,8 +169,11 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             chunks = yield ev
         if chunks is _GAVE_UP:
             rt.counters.steal_timeouts += 1
+            ctx.trace("steal.fail", f"victim=T{victim} reason=giveup")
+            ctx.trace("recover.giveup", f"victim=T{victim}")
             return False
         if not chunks:
+            ctx.trace("steal.fail", f"victim=T{victim} reason=denied")
             return False
         nodes = flatten(chunks)
         yield from ctx.chunk_get(victim, len(nodes))

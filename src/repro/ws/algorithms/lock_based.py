@@ -95,6 +95,7 @@ class LockBasedAlgorithm(AlgorithmBase):
         rank = ctx.rank
         st = self.stats[rank]
         st.steal_attempts += 1
+        ctx.trace("steal.req", f"victim=T{victim}")
         vstack = self.stacks[victim]
         lk = self.stack_locks[victim]
         yield from ctx.lock(lk)
@@ -104,6 +105,7 @@ class LockBasedAlgorithm(AlgorithmBase):
         if nch == 0:
             # The probe raced a competing thief or the owner; move on.
             yield from ctx.unlock(lk)
+            ctx.trace("steal.fail", f"victim=T{victim} reason=empty")
             return False
         take = self.steal_amount(nch)
         chunks = vstack.steal_chunks(take)

@@ -97,6 +97,7 @@ class MpiWorkStealing(AlgorithmBase):
             seen = self._seen_seq[rank]
             if seq <= seen.get(thief, -1):
                 rt.counters.dup_requests_suppressed += 1
+                ctx.trace("recover.dup_suppressed", f"thief=T{thief} seq={seq}")
                 return
             seen[thief] = seq
         if stack.shared_chunks > 0:
@@ -117,8 +118,10 @@ class MpiWorkStealing(AlgorithmBase):
                                       nbytes=len(chunk) * NODE_DESC_BYTES + _CTRL_BYTES)
                 rt.end_transfer(rank)
                 self._wsent[rank] += 1
+            ctx.trace("service", f"thief=T{thief} chunks=1")
         else:
             st.requests_denied += 1
+            ctx.trace("steal.deny", f"thief=T{thief}")
             yield from self._send(ctx, thief, NOWORK, payload=seq)
 
     def _forward_token(self, ctx: UpcContext) -> Generator:
@@ -126,6 +129,7 @@ class MpiWorkStealing(AlgorithmBase):
         token = self.tokens[ctx.rank]
         colour = token.forward()
         self.stats[ctx.rank].tokens_forwarded += 1
+        ctx.trace("token.hop", f"to=T{token.next_rank} colour={colour}")
         yield from self._send(ctx, token.next_rank, TOKEN, payload=colour)
 
     @staticmethod
@@ -213,6 +217,7 @@ class MpiWorkStealing(AlgorithmBase):
                     return True
                 if msg.tag == REQUEST:
                     st.requests_denied += 1
+                    ctx.trace("steal.deny", f"thief=T{msg.src}")
                     yield from self._send(ctx, msg.src, NOWORK)
                 elif msg.tag == TOKEN:
                     token.on_token(msg.payload)
@@ -222,8 +227,11 @@ class MpiWorkStealing(AlgorithmBase):
                     st.steals_ok += 1
                     st.chunks_stolen += 1
                     st.nodes_stolen += len(msg.payload)
+                    ctx.trace("steal", f"from=T{msg.src} chunks=1 "
+                                       f"nodes={len(msg.payload)}")
                     return False
                 elif msg.tag == NOWORK:
+                    ctx.trace("steal.fail", f"victim=T{msg.src} reason=denied")
                     outstanding = None
             # Token handling while idle.
             if token.holding is not None:
@@ -232,6 +240,8 @@ class MpiWorkStealing(AlgorithmBase):
                         yield from self._broadcast_term(ctx)
                         return True
                     colour = token.initiate()
+                    ctx.trace("token.hop",
+                              f"to=T{token.next_rank} colour={colour}")
                     yield from self._send(ctx, token.next_rank, TOKEN,
                                           payload=colour)
                 else:
@@ -239,6 +249,7 @@ class MpiWorkStealing(AlgorithmBase):
                 progressed = True
             elif rank == 0 and not token.in_flight:
                 token.launch()
+                ctx.trace("token.hop", f"to=T{token.next_rank} colour={WHITE}")
                 yield from self._send(ctx, token.next_rank, TOKEN, payload=WHITE)
                 progressed = True
             # One outstanding steal request at a time.
@@ -246,6 +257,7 @@ class MpiWorkStealing(AlgorithmBase):
                 victim = self.probe_orders[rank].one()
                 st.steal_attempts += 1
                 st.probes += 1
+                ctx.trace("steal.req", f"victim=T{victim}")
                 yield from self._send(ctx, victim, REQUEST)
                 outstanding = victim
                 progressed = True
@@ -327,6 +339,8 @@ class MpiWorkStealing(AlgorithmBase):
             self._tok_inflight = False
             self._held[0] = payload
             return
+        ctx.trace("token.hop",
+                  f"to=T{dst} colour={WHITE} round={self._round} deficit=0")
         yield from self._send(ctx, dst, TOKEN, payload=payload)
 
     def _forward_token_faulty(self, ctx: UpcContext) -> Generator:
@@ -340,8 +354,10 @@ class MpiWorkStealing(AlgorithmBase):
         deficit += self._wsent[rank] - self._wrecv[rank]
         token.colour = WHITE
         self.stats[rank].tokens_forwarded += 1
-        yield from self._send(ctx, self._next_alive(rank), TOKEN,
-                              payload=(rnd, out, deficit))
+        dst = self._next_alive(rank)
+        ctx.trace("token.hop",
+                  f"to=T{dst} colour={out} round={rnd} deficit={deficit}")
+        yield from self._send(ctx, dst, TOKEN, payload=(rnd, out, deficit))
 
     def _evaluate_token(self, held) -> bool:
         """Rank 0, idle: did this returned token prove quiescence?"""
@@ -407,11 +423,15 @@ class MpiWorkStealing(AlgorithmBase):
                     st.steals_ok += 1
                     st.chunks_stolen += 1
                     st.nodes_stolen += len(msg.payload)
+                    ctx.trace("steal", f"from=T{msg.src} chunks=1 "
+                                       f"nodes={len(msg.payload)}")
                     return False
                 elif msg.tag == NOWORK:
                     if outstanding is not None \
                             and msg.src == outstanding[0] \
                             and msg.payload == outstanding[1]:
+                        ctx.trace("steal.fail",
+                                  f"victim=T{msg.src} reason=denied")
                         outstanding = None
                         timeout = plan.steal_timeout
                     else:
@@ -432,6 +452,7 @@ class MpiWorkStealing(AlgorithmBase):
                 elif ctx.now - self._tok_launched >= plan.ring_timeout:
                     # The token was dropped or died with a rank.
                     rt.counters.token_relaunches += 1
+                    ctx.trace("recover.token_relaunch", f"round={self._round}")
                     self._tok_inflight = False
                     yield from self._launch_token(ctx)
                     progressed = True
@@ -446,6 +467,7 @@ class MpiWorkStealing(AlgorithmBase):
                     self._req_seq[rank] += 1
                     st.steal_attempts += 1
                     st.probes += 1
+                    ctx.trace("steal.req", f"victim=T{victim}")
                     yield from self._send(ctx, victim, REQUEST, payload=seq)
                     outstanding = (victim, seq, ctx.now + timeout)
                     progressed = True
@@ -454,6 +476,9 @@ class MpiWorkStealing(AlgorithmBase):
                 # or the victim died.  Abandon the transaction; a late
                 # denial is recognised by its stale sequence number.
                 rt.counters.steal_timeouts += 1
+                ctx.trace("steal.fail",
+                          f"victim=T{outstanding[0]} reason=timeout")
+                ctx.trace("recover.steal_timeout", f"victim=T{outstanding[0]}")
                 outstanding = None
                 timeout = min(timeout * 2.0, plan.steal_timeout_max)
                 progressed = True

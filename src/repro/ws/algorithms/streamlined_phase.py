@@ -58,6 +58,8 @@ class StreamlinedTerminationMixin:
                 # surviving thread is counted in, so the system holds no
                 # work (the corpses' work is accounted as lost).
                 self.quiescence_check()
+                ctx.trace("recover.barrier_death",
+                          f"count={self.barrier.count}")
                 yield from self.barrier.announce(ctx)
                 return True
             # Inspect a single other thread (Sect. 3.3.1).

@@ -1,0 +1,37 @@
+"""Shared fixtures: one small, fully traced reference run.
+
+The configuration here is the same one pinned by
+``test_determinism.py`` and rendered into the golden Chrome trace, so
+every obs test reads from the same deterministic event stream.
+"""
+
+import pytest
+
+from repro import TreeParams, run_experiment
+from repro.obs import TraceSink
+
+SMALL_THREADS = 8
+
+SMALL_KWARGS = dict(
+    threads=SMALL_THREADS,
+    preset="kittyhawk",
+    chunk_size=4,
+)
+
+
+def small_tree() -> TreeParams:
+    return TreeParams.binomial(b0=64, q=0.48, m=2, seed=1)
+
+
+def run_small_traced():
+    """A fresh traced reference run: ``(RunResult, TraceSink)``."""
+    sink = TraceSink()
+    result = run_experiment("upc-distmem", tree=small_tree(),
+                            tracer=sink, **SMALL_KWARGS)
+    return result, sink
+
+
+@pytest.fixture(scope="session")
+def traced_small_run():
+    """The traced reference run, shared by the whole obs suite."""
+    return run_small_traced()

@@ -1,0 +1,94 @@
+"""Derived analyses agree with the run's own counters and accounting."""
+
+import pytest
+
+from repro.metrics.states import SEARCHING, STATES, WORKING
+from repro.obs import (state_occupancy, steal_latencies,
+                       steal_latency_histogram, steal_matrix,
+                       termination_breakdown)
+
+from tests.obs.conftest import SMALL_THREADS
+
+
+def test_occupancy_matches_state_timer(traced_small_run):
+    """Trace-derived occupancy == counter-derived working_fraction."""
+    result, sink = traced_small_run
+    occ = state_occupancy(sink.events(), n_threads=SMALL_THREADS,
+                          sim_time=result.sim_time)
+    assert set(occ) == set(range(SMALL_THREADS))
+    for rank, per_state in occ.items():
+        assert set(per_state) == set(STATES)
+        assert sum(per_state.values()) == pytest.approx(result.sim_time,
+                                                        rel=1e-9)
+        assert all(v >= 0.0 for v in per_state.values())
+    total = sum(sum(v.values()) for v in occ.values())
+    working = sum(v[WORKING] for v in occ.values())
+    assert working / total == pytest.approx(result.working_fraction,
+                                            rel=1e-9)
+
+
+def test_steal_matrix_matches_counters(traced_small_run):
+    result, sink = traced_small_run
+    steals, nodes = steal_matrix(sink.events(), SMALL_THREADS)
+    assert sum(map(sum, steals)) == result.stats.steals_ok
+    # A thread never steals from itself.
+    assert all(steals[r][r] == 0 for r in range(SMALL_THREADS))
+    # Every successful steal moved at least one node.
+    for thief in range(SMALL_THREADS):
+        for victim in range(SMALL_THREADS):
+            if steals[thief][victim]:
+                assert nodes[thief][victim] >= steals[thief][victim]
+            else:
+                assert nodes[thief][victim] == 0
+
+
+def test_steal_latencies_cover_attempts(traced_small_run):
+    result, sink = traced_small_run
+    lat = steal_latencies(sink.events())
+    assert all(dt >= 0.0 for _, dt in lat)
+    ok = sum(1 for outcome, _ in lat if outcome == "ok")
+    assert ok == result.stats.steals_ok
+    # Every closed attempt is a success or a named failure reason.
+    outcomes = {outcome for outcome, _ in lat}
+    assert "ok" in outcomes
+    assert outcomes <= {"ok", "busy", "raced", "empty", "denied",
+                        "giveup", "timeout"}
+
+
+def test_latency_histogram_buckets(traced_small_run):
+    _, sink = traced_small_run
+    lat = steal_latencies(sink.events())
+    hist = steal_latency_histogram(sink.events())
+    assert sum(n for _, _, n in hist) == len(lat)
+    # Power-of-two microsecond edges, contiguous.
+    for (lo, hi, _), (lo2, _, _) in zip(hist, hist[1:]):
+        assert hi == lo2
+        assert hi == (1.0 if lo == 0.0 else lo * 2)
+
+
+def test_termination_breakdown(traced_small_run):
+    result, sink = traced_small_run
+    td = termination_breakdown(sink.events(), SMALL_THREADS,
+                               result.sim_time)
+    assert td["sim_time"] == result.sim_time
+    assert len(td["barrier_seconds"]) == SMALL_THREADS
+    # upc-distmem announces termination through the streamlined barrier.
+    assert td["announce_time"] is not None
+    assert 0.0 < td["announce_time"] <= result.sim_time
+    assert td["tail_seconds"] == pytest.approx(
+        result.sim_time - td["announce_time"])
+    # Everyone enters the final barrier at least once and leaves at
+    # most as often as they entered.
+    for rank in range(SMALL_THREADS):
+        assert td["barrier_entries"][rank] >= 1
+        assert td["barrier_exits"][rank] <= td["barrier_entries"][rank]
+
+
+def test_analyses_accept_empty_traces():
+    assert state_occupancy([], n_threads=2, sim_time=1.0)[1] \
+        == {s: (1.0 if s == SEARCHING else 0.0) for s in STATES}
+    assert steal_matrix([], 2) == ([[0, 0], [0, 0]], [[0, 0], [0, 0]])
+    assert steal_latencies([]) == []
+    assert steal_latency_histogram([]) == []
+    td = termination_breakdown([], 2, 1.0)
+    assert td["announce_time"] is None and td["tail_seconds"] is None

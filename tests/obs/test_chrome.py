@@ -1,0 +1,83 @@
+"""Chrome ``trace_event`` exporter: structure + golden-file pin.
+
+``golden_small_chrome.json`` is the committed export of the conftest
+reference run; because both the simulation and the serialisation are
+deterministic, the test regenerates it byte-for-byte.  To refresh
+after an intentional schema change::
+
+    PYTHONPATH=src:. python - <<'PY'
+    from tests.obs.conftest import run_small_traced
+    from repro.obs import dump_chrome_trace
+    _, sink = run_small_traced()
+    dump_chrome_trace("tests/obs/golden_small_chrome.json",
+                      sink.events(), meta=sink.meta)
+    PY
+"""
+
+import json
+import pathlib
+from collections import Counter
+
+from repro.metrics.states import STATES
+from repro.obs import dump_chrome_trace, to_chrome_trace
+
+from tests.obs.conftest import SMALL_THREADS
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_small_chrome.json"
+
+
+def test_golden_chrome_trace(tmp_path, traced_small_run):
+    _, sink = traced_small_run
+    out = tmp_path / "trace.json"
+    dump_chrome_trace(str(out), sink.events(), meta=sink.meta)
+    assert out.read_text() == GOLDEN.read_text()
+
+
+def test_trace_structure(traced_small_run):
+    result, sink = traced_small_run
+    doc = to_chrome_trace(sink.events(), meta=sink.meta)
+
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["algorithm"] == "upc-distmem"
+    assert doc["otherData"]["sim_time"] == result.sim_time
+
+    phases = Counter(e["ph"] for e in doc["traceEvents"])
+    # One process_name + (thread_name, thread_sort_index) per rank.
+    assert phases["M"] == 1 + 2 * SMALL_THREADS
+    assert phases["X"] > 0 and phases["i"] > 0
+    assert set(phases) == {"M", "X", "i"}
+
+    for ev in doc["traceEvents"]:
+        assert ev["pid"] == 0
+        assert 0 <= ev["tid"] < SMALL_THREADS
+        if ev["ph"] == "X":
+            assert ev["name"] in STATES
+            assert ev["ts"] >= 0.0 and ev["dur"] > 0.0
+        elif ev["ph"] == "i":
+            assert ev["s"] == "t"
+            assert ev["name"] != "state"  # states render as slices
+
+
+def test_state_slices_tile_the_run(traced_small_run):
+    """Per rank, the X slices cover [0, sim_time] without gaps."""
+    result, sink = traced_small_run
+    doc = to_chrome_trace(sink.events(), meta=sink.meta)
+    sim_us = result.sim_time * 1e6
+    per_rank = {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "X":
+            per_rank.setdefault(ev["tid"], []).append(ev)
+    assert set(per_rank) == set(range(SMALL_THREADS))
+    for rank, slices in per_rank.items():
+        slices.sort(key=lambda e: e["ts"])
+        assert slices[0]["ts"] == 0.0
+        cursor = 0.0
+        for sl in slices:
+            assert abs(sl["ts"] - cursor) < 1e-6
+            cursor = sl["ts"] + sl["dur"]
+        assert abs(cursor - sim_us) < 1e-6
+
+
+def test_golden_file_is_valid_json():
+    doc = json.loads(GOLDEN.read_text())
+    assert doc["traceEvents"], "golden trace must not be empty"

@@ -1,0 +1,72 @@
+"""The observability determinism contract (docs/observability.md).
+
+Two guarantees, both pinned against captured baselines:
+
+* tracing **off** is free: the hook sites added for `repro.obs` leave
+  untraced runs bit-identical to the pre-obs seed (same
+  ``engine_events``, ``total_nodes``, ``sim_time``);
+* tracing **on** never perturbs the run: a traced run matches the
+  untraced one in every ``RunResult`` field, and the trace itself is
+  identical across repeats.
+"""
+
+from repro import run_experiment
+from repro.harness.figures import figure4
+from repro.obs import to_jsonl_lines
+
+from tests.obs.conftest import SMALL_KWARGS, run_small_traced, small_tree
+
+# Captured from the pre-obs seed for the conftest reference
+# configuration (upc-distmem, binomial b0=64 q=0.48 m=2 seed=1,
+# 8 threads, kittyhawk, chunk_size=4).
+PIN_ENGINE_EVENTS = 656
+PIN_TOTAL_NODES = 3009
+PIN_SIM_TIME = 0.0005093102231520224
+
+# Captured from the pre-obs seed: engine_events for every cell of the
+# fig4 "test"-scale sweep, covering all of the sweep's algorithms.
+PIN_FIG4_TEST_ENGINE_EVENTS = [
+    1038, 557, 429, 2268, 921, 454, 2398, 881, 445, 2653, 1138, 341,
+    2141, 1246, 1146,
+]
+
+
+def run_small_untraced():
+    return run_experiment("upc-distmem", tree=small_tree(), **SMALL_KWARGS)
+
+
+def test_untraced_run_matches_pre_obs_seed():
+    result = run_small_untraced()
+    assert result.engine_events == PIN_ENGINE_EVENTS
+    assert result.total_nodes == PIN_TOTAL_NODES
+    assert result.sim_time == PIN_SIM_TIME
+
+
+def test_traced_run_is_bit_identical_to_untraced(traced_small_run):
+    traced, sink = traced_small_run
+    untraced = run_small_untraced()
+    assert traced.engine_events == untraced.engine_events
+    assert traced.total_nodes == untraced.total_nodes
+    assert traced.sim_time == untraced.sim_time
+    assert traced.stats.steals_ok == untraced.stats.steals_ok
+    assert traced.stats.steal_attempts == untraced.stats.steal_attempts
+    assert traced.stats.nodes_stolen == untraced.stats.nodes_stolen
+    assert traced.working_fraction == untraced.working_fraction
+    # ... and the sink actually recorded the run.
+    assert len(sink.records) > 0
+    assert traced.trace is sink
+    assert untraced.trace is None
+
+
+def test_trace_itself_is_deterministic(traced_small_run):
+    _, first = traced_small_run
+    _, second = run_small_traced()
+    assert to_jsonl_lines(second.events(), second.meta) \
+        == to_jsonl_lines(first.events(), first.meta)
+
+
+def test_fig4_test_sweep_matches_pre_obs_seed():
+    """The whole test-scale Figure-4 sweep, untraced, is untouched."""
+    fig = figure4("test")
+    assert [r.engine_events for r in fig.sweep.runs] \
+        == PIN_FIG4_TEST_ENGINE_EVENTS

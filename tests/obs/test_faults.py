@@ -1,0 +1,58 @@
+"""Traced faulted runs surface every injection and recovery action."""
+
+from repro import run_experiment
+from repro.faults.plan import parse_fault_spec
+from repro.obs import TraceSink, render_trace_report
+
+from tests.obs.conftest import SMALL_KWARGS, small_tree
+
+
+def run_faulted(algorithm, spec, seed):
+    sink = TraceSink()
+    result = run_experiment(algorithm, tree=small_tree(), tracer=sink,
+                            faults=parse_fault_spec(spec, seed=seed),
+                            **SMALL_KWARGS)
+    return result, sink
+
+
+def test_message_faults_traced():
+    result, sink = run_faulted("mpi-ws", "drop=0.05,dup=0.05,delay=0.1",
+                               seed=3)
+    counts = sink.counts_by_kind()
+    for kind in ("fault.drop", "fault.dup", "fault.delay",
+                 "recover.dup_suppressed"):
+        assert counts.get(kind, 0) > 0, f"no {kind} events recorded"
+    # Trace counts agree with the run's own fault ledger.
+    assert counts["fault.drop"] == result.fault_counters.msgs_dropped
+    assert counts["fault.dup"] == result.fault_counters.msgs_duplicated
+    assert counts["fault.delay"] == result.fault_counters.msgs_delayed
+    # Dropped requests are recovered via the steal timeout path.
+    assert counts.get("recover.steal_timeout", 0) > 0
+
+
+def test_fail_stop_traced():
+    result, sink = run_faulted("upc-distmem", "kill=3@100us", seed=1)
+    counts = sink.counts_by_kind()
+    assert counts.get("fault.kill", 0) == 1
+    assert counts.get("sim.interrupt", 0) == 1
+    assert counts.get("fault.lost", 0) == 1
+    # The kill event names the victim rank.
+    (kill,) = [e for e in sink.events() if e.kind == "fault.kill"]
+    assert kill.rank == 3
+    assert result.lost_work > 0
+
+
+def test_fault_ledger_in_report():
+    _, sink = run_faulted("mpi-ws", "drop=0.05,dup=0.05,delay=0.1", seed=3)
+    report = render_trace_report(sink.events(), sink.meta)
+    assert "## Faults and recovery" in report
+    assert "| fault.drop |" in report
+    assert "| recover.dup_suppressed |" in report
+
+
+def test_clean_run_has_no_fault_section(traced_small_run):
+    _, sink = traced_small_run
+    assert not any(e.kind.startswith(("fault.", "recover."))
+                   for e in sink.events())
+    report = render_trace_report(sink.events(), sink.meta)
+    assert "## Faults and recovery" not in report

@@ -1,0 +1,39 @@
+"""JSONL event log: lossless round trip, byte stability, greppability."""
+
+from repro.obs import dump_jsonl, load_jsonl, to_jsonl_lines
+
+
+def test_round_trip(tmp_path, traced_small_run):
+    _, sink = traced_small_run
+    path = str(tmp_path / "run.jsonl")
+    assert dump_jsonl(path, sink.events(), sink.meta) == path
+    meta, events = load_jsonl(path)
+    assert meta == sink.meta
+    assert events == sink.events()
+
+
+def test_header_optional(tmp_path, traced_small_run):
+    _, sink = traced_small_run
+    path = str(tmp_path / "noheader.jsonl")
+    dump_jsonl(path, sink.events())
+    meta, events = load_jsonl(path)
+    assert meta == {}
+    assert events == sink.events()
+
+
+def test_lines_are_byte_stable(traced_small_run):
+    _, sink = traced_small_run
+    a = to_jsonl_lines(sink.events(), sink.meta)
+    b = to_jsonl_lines(sink.events(), sink.meta)
+    assert a == b
+    # Header first, then one object per event, chronological.
+    assert a[0].startswith('{"meta"')
+    assert len(a) == 1 + len(sink.events())
+
+
+def test_events_greppable_by_kind(traced_small_run):
+    """The format docs promise ``grep '"steal'`` works on the log."""
+    _, sink = traced_small_run
+    lines = to_jsonl_lines(sink.events(), sink.meta)
+    steal_lines = [ln for ln in lines if '"kind": "steal"' in ln]
+    assert len(steal_lines) == sink.counts_by_kind()["steal"]

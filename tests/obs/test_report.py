@@ -1,0 +1,58 @@
+"""The Markdown run report: every promised section, readable tables."""
+
+from repro.obs import render_trace_report
+
+from tests.obs.conftest import SMALL_THREADS
+
+SECTIONS = [
+    "# Trace report",
+    "## Run",
+    "## Event census",
+    "## State occupancy (Figure 1)",
+    "## Steal-interaction matrix",
+    "## Steal latency",
+    "## Termination phase",
+]
+
+
+def test_all_sections_present(traced_small_run):
+    _, sink = traced_small_run
+    report = render_trace_report(sink.events(), sink.meta)
+    pos = -1
+    for section in SECTIONS:
+        at = report.find(section)
+        assert at > pos, f"missing or misordered section: {section}"
+        pos = at
+
+
+def test_meta_and_census(traced_small_run):
+    result, sink = traced_small_run
+    report = render_trace_report(sink.events(), sink.meta)
+    assert "upc-distmem" in report
+    assert f"{len(sink.events())} event(s) across {SMALL_THREADS} rank(s)." \
+        in report
+    for kind, n in sink.counts_by_kind().items():
+        assert f"| {kind} | {n} |" in report
+
+
+def test_occupancy_table_covers_all_ranks(traced_small_run):
+    _, sink = traced_small_run
+    report = render_trace_report(sink.events(), sink.meta)
+    occ_section = report.split("## State occupancy (Figure 1)")[1] \
+                        .split("##")[0]
+    for rank in range(SMALL_THREADS):
+        assert f"T{rank}" in occ_section
+
+
+def test_report_without_meta_still_renders(traced_small_run):
+    """tools/trace_report.py renders header-less JSONL logs too."""
+    _, sink = traced_small_run
+    report = render_trace_report(sink.events())
+    assert "# Trace report" in report
+    assert "## Steal-interaction matrix" in report
+
+
+def test_report_on_empty_trace():
+    report = render_trace_report([])
+    assert "# Trace report" in report
+    assert "0 event(s)" in report

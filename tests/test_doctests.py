@@ -5,9 +5,12 @@ import doctest
 import pytest
 
 import repro.harness.runner
+import repro.obs
+import repro.obs.events
 import repro.sim.engine
 
-MODULES = [repro.sim.engine, repro.harness.runner]
+MODULES = [repro.sim.engine, repro.harness.runner,
+           repro.obs, repro.obs.events]
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

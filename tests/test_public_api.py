@@ -56,3 +56,24 @@ def test_paper_tree_constants_exported():
 def test_presets_exported():
     assert repro.get_preset("topsail") is repro.TOPSAIL
     assert set(repro.PRESETS) == {"kittyhawk", "topsail", "altix", "sharedmem"}
+
+
+def test_obs_surface():
+    """The observability layer's public names (docs/observability.md)."""
+    import repro.obs as obs
+
+    assert repro.TraceSink is obs.TraceSink
+    expected = {
+        "TraceSink", "ObsEvent", "EVENT_SCHEMA", "parse_detail",
+        "parse_events", "to_chrome_trace", "dump_chrome_trace",
+        "to_jsonl_lines", "dump_jsonl", "load_jsonl", "state_occupancy",
+        "steal_matrix", "steal_latencies", "steal_latency_histogram",
+        "termination_breakdown", "render_trace_report",
+    }
+    assert set(obs.__all__) == expected
+    for name in expected:
+        assert hasattr(obs, name), f"repro.obs.{name} missing"
+    # A TraceSink is a Tracer: run_experiment(tracer=...) accepts it.
+    from repro.sim.trace import Tracer
+
+    assert issubclass(obs.TraceSink, Tracer)

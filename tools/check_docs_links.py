@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Check that every intra-repo Markdown link resolves.
+
+Scans the repository's Markdown files (top level + ``docs/``) for
+inline links and validates the local ones:
+
+* relative file links (``docs/api.md``, ``../README.md``) must point
+  at an existing file or directory, resolved from the linking file;
+* fragment-only and ``file#fragment`` links must point at an existing
+  file (heading anchors themselves are not resolved);
+* ``http(s)``/``mailto`` links are skipped -- CI stays offline.
+
+Exit status 0 when everything resolves, 1 otherwise (one line per
+broken link: ``file:line: target``).
+
+Usage::
+
+    python tools/check_docs_links.py            # repo root inferred
+    python tools/check_docs_links.py --root .   # explicit root
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Inline Markdown links: ``[text](target)``; images share the syntax.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository -- not checked.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    """Top-level ``*.md`` plus everything under ``docs/``."""
+    yield from sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_file(md: pathlib.Path) -> List[Tuple[int, str]]:
+    """Broken links in one file: ``[(line_number, target), ...]``."""
+    broken: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue  # same-file anchor
+            if not (md.parent / path_part).exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: parent of this script's directory)")
+    args = parser.parse_args(argv)
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    files = list(iter_markdown_files(root))
+    total_broken = 0
+    for md in files:
+        for lineno, target in check_file(md):
+            print(f"{md.relative_to(root)}:{lineno}: {target}")
+            total_broken += 1
+    label = "file" if len(files) == 1 else "files"
+    if total_broken:
+        print(f"{total_broken} broken link(s) across {len(files)} {label}",
+              file=sys.stderr)
+        return 1
+    print(f"ok: all intra-repo links resolve ({len(files)} {label})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
