@@ -148,11 +148,20 @@ class MsgEndpoint:
         msg = Message(src=self.rank, dst=dst, tag=tag, payload=payload,
                       nbytes=nbytes, send_time=now, arrival_time=now + transit)
         self.world._post(msg)
-        self.ctx.trace("msg.send", f"->T{dst} {tag}")
+        tr = self.ctx.machine.tracer
+        if tr.enabled:
+            tr.emit(now, self.rank, "msg.send", f"->T{dst} {tag}")
 
     def iprobe(self, tags: Optional[Iterable[str]] = None) -> Optional[Message]:
-        """Nonblocking local poll for a delivered message (free)."""
-        tag_filter = frozenset(tags) if tags is not None else None
+        """Nonblocking local poll for a delivered message (free).
+
+        Callers on the polling hot path pass a prebuilt ``frozenset`` of
+        tags, which is used as-is.
+        """
+        if tags is None or type(tags) is frozenset:
+            tag_filter = tags
+        else:
+            tag_filter = frozenset(tags)
         return self.world._take_delivered(self.rank, tag_filter)
 
     def recv(self, tags: Optional[Iterable[str]] = None) -> Generator:
@@ -160,7 +169,10 @@ class MsgEndpoint:
         tag_filter = frozenset(tags) if tags is not None else None
         msg = self.world._take_delivered(self.rank, tag_filter)
         if msg is not None:
-            self.ctx.trace("msg.recv", f"<-T{msg.src} {msg.tag}")
+            tr = self.ctx.machine.tracer
+            if tr.enabled:
+                tr.emit(self.world.sim.now, self.rank, "msg.recv",
+                        f"<-T{msg.src} {msg.tag}")
             return msg
         # If a matching message is in flight, wait for its arrival; else
         # register as a blocked receiver.
@@ -176,5 +188,8 @@ class MsgEndpoint:
         else:
             self.world._waiters[self.rank].append((tag_filter, ev))
         msg = yield ev
-        self.ctx.trace("msg.recv", f"<-T{msg.src} {msg.tag}")
+        tr = self.ctx.machine.tracer
+        if tr.enabled:
+            tr.emit(self.world.sim.now, self.rank, "msg.recv",
+                    f"<-T{msg.src} {msg.tag}")
         return msg

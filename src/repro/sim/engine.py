@@ -101,8 +101,18 @@ class SimEvent:
         if delay == 0.0:
             self._fire(value, stagger)
         else:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
             self.scheduled = True
-            self.sim._call_at(delay, lambda: self._fire(value, stagger))
+            # Direct heap record instead of a lambda closure: the run
+            # loop recognises the (event, value, stagger) tuple payload
+            # and calls _fire itself (same schedule, no allocation of a
+            # closure + cells per delayed fire).
+            sim = self.sim
+            sim._seq += 1
+            heapq.heappush(sim._heap,
+                           (sim.now + delay, sim._seq, None,
+                            (self, value, stagger)))
 
     def _fire(self, value: Any, stagger: float) -> None:
         self.fired = True
@@ -241,43 +251,145 @@ class Simulator:
 
     # -- execution -------------------------------------------------------
 
+    def _limit_error(self) -> EventLimitExceeded:
+        return EventLimitExceeded(
+            f"exceeded {self.max_events} events at t={self.now:.6f}; "
+            "likely a livelocked protocol"
+        )
+
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains (or sim-time ``until`` is reached).
 
         Returns the final simulation time.  Raises
-        :class:`EventLimitExceeded` if the event budget is exhausted,
-        which in this package almost always indicates a livelocked
-        protocol rather than a legitimately long run.
+        :class:`EventLimitExceeded` if the event budget would be
+        exceeded (the budget is the number of events actually
+        dispatched: with ``max_events=N`` exactly ``N`` events run and
+        the ``N+1``-th raises), which in this package almost always
+        indicates a livelocked protocol rather than a legitimately long
+        run.
+
+        This is the hottest loop in the repository: every simulated
+        interaction of every run passes through it once.  It therefore
+        hoists all attribute lookups into locals, keeps the event
+        counter in a local (synced back in ``finally``), dispatches the
+        awaitable with exact-class checks (``isinstance`` only as a
+        subclass fallback), and inlines :meth:`Process._step` /
+        :meth:`_schedule` for the two common awaitables.  The
+        ``until=None`` case -- every full run -- skips the deadline
+        check entirely.  The schedule it executes is bit-identical to
+        the naive loop's.
         """
+        if until is not None:
+            return self._run_until(until)
         heap = self._heap
-        while heap:
-            time, _seq, proc, value = heapq.heappop(heap)
-            if until is not None and time > until:
-                # Not consumed: push back so a later run() continues cleanly.
-                heapq.heappush(heap, (time, _seq, proc, value))
-                self.now = until
-                return self.now
-            if proc is not None and not proc.alive:
-                # Stale resumption of an interrupted process (its
-                # pending timeout / event wake-up outlived it); dropped
-                # before it can advance the clock.  Never reached
-                # without Simulator.interrupt: a process that finishes
-                # normally has no outstanding resumptions.
-                continue
-            self.now = time
-            self.events_processed += 1
-            if self.events_processed > self.max_events:
-                raise EventLimitExceeded(
-                    f"exceeded {self.max_events} events at t={self.now:.6f}; "
-                    "likely a livelocked protocol"
-                )
-            if proc is None:
-                value()  # bare callback (delayed event fire)
-                continue
-            was_alive = proc.alive
-            proc._step(value)
-            if was_alive and not proc.alive:
-                self._live_processes -= 1
+        pop = heapq.heappop
+        push = heapq.heappush
+        timeout_cls = Timeout
+        event_cls = SimEvent
+        n = self.events_processed
+        limit = self.max_events
+        try:
+            while heap:
+                time, _seq, proc, value = pop(heap)
+                if proc is not None:
+                    if not proc.alive:
+                        # Stale resumption of an interrupted process
+                        # (its pending timeout / event wake-up outlived
+                        # it); dropped before it can advance the clock
+                        # and never counted.  Never reached without
+                        # Simulator.interrupt: a process that finishes
+                        # normally has no outstanding resumptions.
+                        continue
+                    self.now = time
+                    if n >= limit:
+                        raise self._limit_error()
+                    n += 1
+                    body = proc.body
+                    try:
+                        awaited = body.send(value)
+                    except StopIteration as stop:
+                        proc.alive = False
+                        proc.done.succeed(stop.value)
+                        self._live_processes -= 1
+                        continue
+                    cls = awaited.__class__
+                    if cls is timeout_cls:
+                        # Timeout validated delay >= 0 at construction.
+                        self._seq = seq = self._seq + 1
+                        push(heap, (time + awaited.delay, seq, proc,
+                                    awaited.value))
+                    elif cls is event_cls:
+                        if awaited.fired:
+                            # Late waiter on an already-fired event
+                            # resumes immediately (at the current time;
+                            # times are non-negative sums of validated
+                            # delays, so ``time`` == ``time + 0.0``).
+                            self._seq = seq = self._seq + 1
+                            push(heap, (time, seq, proc, awaited.value))
+                        else:
+                            awaited._waiters.append(proc)
+                    elif isinstance(awaited, timeout_cls):
+                        self._schedule(awaited.delay, proc, awaited.value)
+                    elif isinstance(awaited, event_cls):
+                        awaited.add_waiter(proc)
+                    else:
+                        raise SimulationError(
+                            f"process {proc.name!r} yielded "
+                            f"non-awaitable {awaited!r}"
+                        )
+                else:
+                    self.now = time
+                    if n >= limit:
+                        raise self._limit_error()
+                    n += 1
+                    if value.__class__ is tuple:
+                        # Delayed event fire (see SimEvent.succeed).
+                        ev, val, stagger = value
+                        ev._fire(val, stagger)
+                    else:
+                        value()  # bare callback (_call_at)
+        finally:
+            self.events_processed = n
+        return self.now
+
+    def _run_until(self, until: float) -> float:
+        """The deadline-checked variant of :meth:`run` (pause/resume)."""
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        n = self.events_processed
+        limit = self.max_events
+        try:
+            while heap:
+                item = pop(heap)
+                time = item[0]
+                if time > until:
+                    # Not consumed: push back (same tuple, same seq) so
+                    # a later run() continues cleanly.
+                    push(heap, item)
+                    self.now = until
+                    return self.now
+                proc = item[2]
+                if proc is not None and not proc.alive:
+                    continue  # stale resumption, never counted
+                self.now = time
+                if n >= limit:
+                    raise self._limit_error()
+                n += 1
+                if proc is None:
+                    value = item[3]
+                    if value.__class__ is tuple:
+                        ev, val, stagger = value
+                        ev._fire(val, stagger)
+                    else:
+                        value()
+                    continue
+                was_alive = proc.alive
+                proc._step(item[3])
+                if was_alive and not proc.alive:
+                    self._live_processes -= 1
+        finally:
+            self.events_processed = n
         return self.now
 
     def run_all(self, processes: Iterable[ProcessBody]) -> float:

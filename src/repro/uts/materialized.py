@@ -10,14 +10,12 @@ by index lookup for every later run of the same :class:`TreeParams`.
 
 Layout (one breadth-first pass):
 
-* ``_nodes``   -- every node tuple, root first; the children of any
-  node occupy one contiguous slice (BFS appends them together).
-* ``_num``     -- ``array('i')`` child count per node index.
-* ``_first``   -- ``array('q')`` index of each node's first child.
-* ``_index``   -- node tuple -> node index.
+* ``_nodes``   -- every node tuple, root first.
+* ``_kid_map`` -- node tuple -> precomputed list of child nodes (leaves
+  share one empty list).
 
-``children()`` is therefore a dict lookup plus a list slice -- no
-hashing -- and the whole structure is read-only after construction, so
+``children()`` is therefore a single dict lookup -- no hashing beyond
+the key -- and the whole structure is read-only after construction, so
 it is shared copy-on-write with forked sweep workers.
 
 Memory is bounded by :func:`node_cap` (default 2,000,000 nodes,
@@ -31,7 +29,6 @@ instead of exhausting host memory.
 from __future__ import annotations
 
 import os
-from array import array
 from typing import Iterator, List, Optional
 
 from repro.uts.params import TreeParams
@@ -65,20 +62,20 @@ class MaterializedTree:
     does).
     """
 
-    __slots__ = ("params", "engine", "_base", "_nodes", "_num", "_first",
-                 "_index", "n_nodes", "n_leaves", "max_depth")
+    __slots__ = ("params", "engine", "_base", "_nodes", "_kid_map",
+                 "n_nodes", "n_leaves", "max_depth")
 
-    def __init__(self, base: Tree, nodes: List[Node], num: array,
-                 first: array, index: dict) -> None:
+    #: Shared empty child list for leaves (callers treat it read-only).
+    _NO_KIDS: List[Node] = []
+
+    def __init__(self, base: Tree, nodes: List[Node], kid_map: dict) -> None:
         self.params: TreeParams = base.params
         self.engine = base.engine
         self._base = base
         self._nodes = nodes
-        self._num = num
-        self._first = first
-        self._index = index
+        self._kid_map = kid_map
         self.n_nodes = len(nodes)
-        self.n_leaves = sum(1 for c in num if c == 0)
+        self.n_leaves = sum(1 for k in kid_map.values() if not k)
         self.max_depth = max(h for _, h in nodes) if nodes else 0
 
     @classmethod
@@ -90,22 +87,19 @@ class MaterializedTree:
             return None
         base = Tree(params)
         nodes: List[Node] = [base.root()]
-        num = array("i")
-        first = array("q")
-        index: dict = {}
+        kid_map: dict = {}
+        no_kids = cls._NO_KIDS
         children = base.children
         i = 0
         while i < len(nodes):
             node = nodes[i]
             kids = children(node)
-            index[node] = i
-            num.append(len(kids))
-            first.append(len(nodes))
+            kid_map[node] = kids if kids else no_kids
             nodes.extend(kids)
             if len(nodes) > cap:
                 return None
             i += 1
-        return cls(base, nodes, num, first, index)
+        return cls(base, nodes, kid_map)
 
     def describe(self) -> str:
         return self.params.describe()
@@ -116,56 +110,50 @@ class MaterializedTree:
         return self._nodes[0]
 
     def num_children(self, node: Node) -> int:
-        idx = self._index.get(node)
-        if idx is None:  # not part of this tree; derive on the fly
+        kids = self._kid_map.get(node)
+        if kids is None:  # not part of this tree; derive on the fly
             return self._base.num_children(node)
-        return self._num[idx]
+        return len(kids)
 
     def children(self, node: Node) -> list:
         """Children of ``node`` as a fresh list (hot path, no hashing)."""
-        idx = self._index.get(node)
-        if idx is None:  # not part of this tree; derive on the fly
+        kids = self._kid_map.get(node)
+        if kids is None:  # not part of this tree; derive on the fly
             return self._base.children(node)
-        n = self._num[idx]
-        if not n:
-            return []
-        f = self._first[idx]
-        return self._nodes[f:f + n]
+        return list(kids)
 
     # -- fused exploration hook ----------------------------------------------
 
     def batch_expand(self, local: list, limit: int, thresh: int) -> tuple:
         """Run the DFS inner loop of ``AlgorithmBase.explore_batch``
-        directly against the flat arrays (one dict lookup per node, no
-        per-node ``children()`` call).  Must mirror the generic loop
-        exactly: same pop order, same early exits.  Returns
-        ``(visited, pushed)``.
+        directly against the precomputed child map (one dict lookup per
+        node, no per-node ``children()`` call, no list copies).  Must
+        mirror the generic loop exactly: same pop order, same early
+        exits.  Returns ``(visited, pushed)``.
         """
-        index = self._index
-        num = self._num
-        first = self._first
-        nodes = self._nodes
-        base_children = self._base.children
+        kid_map = self._kid_map
         pop = local.pop
         extend = local.extend
         n = 0
         pushed = 0
-        while local and n < limit:
+        # Track the stack depth in a local integer instead of calling
+        # ``len(local)`` twice per node (pop always removes one, extend
+        # always adds len(kids)).
+        llen = len(local)
+        while llen and n < limit:
             node = pop()
-            idx = index.get(node)
-            if idx is None:  # foreign node: derive on the fly
-                kids = base_children(node)
+            llen -= 1
+            try:
+                kids = kid_map[node]
+            except KeyError:  # foreign node: derive on the fly
+                kids = self._base.children(node)
+            if kids:
+                extend(kids)
                 k = len(kids)
-                if k:
-                    extend(kids)
-            else:
-                k = num[idx]
-                if k:
-                    f = first[idx]
-                    extend(nodes[f:f + k])
-            pushed += k
+                pushed += k
+                llen += k
             n += 1
-            if len(local) >= thresh:
+            if llen >= thresh:
                 break
         return n, pushed
 

@@ -80,6 +80,33 @@ class AlgorithmBase:
             ThreadStats(rank=r, timer=StateTimer(WORKING if r == 0 else SEARCHING))
             for r in range(n)
         ]
+        #: Hot-path constants, hoisted once: the per-event loops below
+        #: must not pay a dataclass property or attribute chase per
+        #: batch (see docs/performance.md, "engine hot path").
+        self.tracer = machine.tracer
+        self.sim = machine.sim
+        self._poll_interval = cfg.poll_interval
+        self._release_threshold = cfg.release_threshold
+        #: True on fault-free runs: the compute-time multiplier is
+        #: exactly 1.0 and stale-read windows can never open, so hot
+        #: loops may yield precomputed Timeouts and read shared slots
+        #: directly (bit-identical to the generic path).
+        self._fast = machine.faults is None
+        #: Reusable Timeout per possible batch size (visiting n nodes
+        #: always costs exactly n * t_node on the fast path).  None when
+        #: a batch costs no simulated time (the generic path then skips
+        #: the yield entirely, so reusing a zero Timeout would add
+        #: events).
+        if self.t_node > 0:
+            self._visit_timeouts = [Timeout(i * self.t_node)
+                                    for i in range(cfg.poll_interval + 1)]
+        else:
+            self._visit_timeouts = None
+        #: Lazily built per-rank rows of shared-reference costs
+        #: (``row[victim] == net.shared_ref(rank, victim)``): the probe
+        #: loops touch every victim each cycle, so one row build
+        #: amortizes instantly.
+        self._ref_rows: dict = {}
         #: Fused expansion hook: a materialized tree runs the DFS inner
         #: loop against its flat arrays (bit-identical, no per-node
         #: children() call); implicit trees use the generic loop below.
@@ -89,6 +116,10 @@ class AlgorithmBase:
         #: briefly observe the pre-write value (inert without faults).
         self.work_avail = machine.shared_array("work_avail", init=NO_WORK,
                                                staleable=True)
+        #: The same SharedVar slots as a plain list: probe loops index
+        #: this at C speed instead of paying ``SharedArray.__getitem__``
+        #: per victim.
+        self._wa_slots = list(self.work_avail)
         self.work_avail[0].poke(0)
         self.probe_orders = [
             ProbeOrder(r, n, machine.contexts[r].rng) for r in range(n)
@@ -136,7 +167,21 @@ class AlgorithmBase:
         in both the state timer and (when tracing) the trace stream --
         the latter feeds :func:`repro.metrics.timeline.render_timeline`."""
         self.stats[ctx.rank].timer.enter(state, ctx.now)
-        ctx.trace("state", state)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, ctx.rank, "state", state)
+
+    def _ref_row(self, rank: int) -> List[float]:
+        """Shared-reference cost from ``rank`` to every victim, built on
+        first use and cached (identical floats to calling
+        ``net.shared_ref`` per probe)."""
+        row = self._ref_rows.get(rank)
+        if row is None:
+            shared_ref = self.net.shared_ref
+            row = self._ref_rows[rank] = [
+                shared_ref(rank, v) for v in range(self.machine.n_threads)
+            ]
+        return row
 
     # -- tree exploration (the hot loop) -----------------------------------
 
@@ -149,9 +194,9 @@ class AlgorithmBase:
         """
         stack = self.stacks[rank]
         local = stack.local
-        limit = self.cfg.poll_interval
-        thresh = self.cfg.release_threshold
-        tr = self.machine.tracer
+        limit = self._poll_interval
+        thresh = self._release_threshold
+        tr = self.tracer
         if self._batch_expand is not None:
             n, pushed = self._batch_expand(local, limit, thresh)
             stack.pops += n

@@ -85,7 +85,10 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         else:
             chunks = nodes = []
             st.requests_denied += 1
-            ctx.trace("steal.deny", f"thief=T{thief}")
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(self.machine.sim.now, rank, "steal.deny",
+                        f"thief=T{thief}")
         # Two remote writes (amount given + address of the work).  These
         # are one-sided puts issued outside any critical section: the
         # victim pays only local injection overhead and keeps working;
@@ -111,7 +114,10 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
                 # Re-journal under the thief until it pushes them.
                 rt.register_response(thief, nodes)
         ev.succeed(chunks, delay=self.net.shared_ref(rank, thief))
-        ctx.trace("service", f"thief=T{thief} chunks={len(chunks)}")
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, rank, "service",
+                    f"thief=T{thief} chunks={len(chunks)}")
 
     # -- thief side --------------------------------------------------------------
 
@@ -121,14 +127,19 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         rank = ctx.rank
         st = self.stats[rank]
         st.steal_attempts += 1
-        ctx.trace("steal.req", f"victim=T{victim}")
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, rank, "steal.req",
+                    f"victim=T{victim}")
         lk = self.req_locks[victim]
         # "Attempts to write its thread ID" -- a lock *attempt*: if the
         # slot's lock is held, another thief is requesting; rather than
         # queue (and pile up like the lock-based steal), move on.
         got = yield from ctx.try_lock(lk)
         if not got:
-            ctx.trace("steal.fail", f"victim=T{victim} reason=busy")
+            if tr.enabled:
+                tr.emit(self.machine.sim.now, rank, "steal.fail",
+                        f"victim=T{victim} reason=busy")
             return False
         # Read the request variable under its lock.
         yield from ctx.compute(self.net.shared_ref(rank, victim))
@@ -173,7 +184,9 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             ctx.trace("recover.giveup", f"victim=T{victim}")
             return False
         if not chunks:
-            ctx.trace("steal.fail", f"victim=T{victim} reason=denied")
+            if tr.enabled:
+                tr.emit(self.machine.sim.now, rank, "steal.fail",
+                        f"victim=T{victim} reason=denied")
             return False
         nodes = flatten(chunks)
         yield from ctx.chunk_get(victim, len(nodes))
@@ -185,7 +198,9 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         st.chunks_stolen += len(chunks)
         st.nodes_stolen += len(nodes)
         self.work_avail[rank].poke(0)
-        ctx.trace("steal", f"from=T{victim} chunks={len(chunks)} nodes={len(nodes)}")
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, rank, "steal",
+                    f"from=T{victim} chunks={len(chunks)} nodes={len(nodes)}")
         return True
 
     def _give_up_watch(self, ev: SimEvent, rank: int, victim: int) -> Generator:
@@ -211,27 +226,65 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         stack = self.stacks[rank]
         st = self.stats[rank]
         self.enter_state(ctx, WORKING)
-        self.work_avail[rank].poke(stack.shared_chunks)
+        wa = self.work_avail[rank]
+        # The victim-side poll is a local read of our own request slot:
+        # test it inline so the (overwhelmingly common) no-request case
+        # costs one attribute read instead of a generator round trip.
+        req_slot = self.request[rank]
+        wa.poke(stack.shared_chunks)
+        local = stack.local
+        shared = stack.shared
+        vt = self._visit_timeouts if self._fast else None
+        thresh = self._release_threshold
+        limit = self._poll_interval
+        chunk = self.cfg.chunk_size
+        be = self._batch_expand
+        explore = self.explore_batch
+        tr = self.tracer
+        sim = self.sim
         while True:
-            yield from self.service_request(ctx)
-            if not stack.local:
-                if stack.shared_chunks:
-                    # Owner-only move: no lock needed (Sect. 3.3.3).
-                    stack.reacquire()
-                    self.work_avail[rank].poke(stack.shared_chunks)
+            if req_slot.value is not None:
+                yield from self.service_request(ctx)
+            if not local:
+                if shared:
+                    # Owner-only move, no lock needed (Sect. 3.3.3);
+                    # SplitStack.reacquire inlined (same counters).
+                    got = shared.pop()
+                    local[0:0] = got
+                    stack.reacquired_nodes += len(got)
+                    wa.poke(len(shared))
                     st.reacquires += 1
                     continue
                 break
-            n = self.explore_batch(rank)
+            if be is not None:
+                # explore_batch's bookkeeping, inlined (same counters,
+                # same trace) to skip the wrapper call per batch.
+                n, pushed = be(local, limit, thresh)
+                stack.pops += n
+                stack.pushes += pushed
+                st.nodes_visited += n
+                if n and tr.enabled:
+                    tr.emit(sim.now, rank, "visit", f"n={n}")
+            else:
+                n = explore(rank)
             if n:
-                yield from ctx.compute(n * self.t_node)
-            while stack.local_size >= self.cfg.release_threshold:
-                stack.release(self.cfg.chunk_size)
-                self.work_avail[rank].poke(stack.shared_chunks)
+                if vt is not None:
+                    yield vt[n]
+                else:
+                    yield from ctx.compute(n * self.t_node)
+            while len(local) >= thresh:
+                # SplitStack.release inlined (len(local) >= thresh >=
+                # chunk makes its size guard redundant here).
+                released = local[:chunk]
+                del local[:chunk]
+                shared.append(released)
+                stack.released_nodes += chunk
+                wa.poke(len(shared))
                 st.releases += 1
-        self.work_avail[rank].poke(NO_WORK)
+        wa.poke(NO_WORK)
         # Deny any request that raced our transition to idle.
-        yield from self.service_request(ctx)
+        if req_slot.value is not None:
+            yield from self.service_request(ctx)
         self.enter_state(ctx, SEARCHING)
 
     # -- searching ------------------------------------------------------------------
@@ -239,16 +292,24 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
     def search_phase(self, ctx: UpcContext) -> Generator:
         rank = ctx.rank
         st = self.stats[rank]
-        shared_ref = self.net.shared_ref
+        req_slot = self.request[rank]
+        row = self._ref_row(rank)
+        slots = self._wa_slots
+        # See LockBasedAlgorithm.search_phase: fault-free, a direct
+        # value read is identical to remote_read.
+        fast = self._fast
+        cycle = self.probe_orders[rank].cycle
         backoff = self.cfg.search_backoff_min
         while True:
-            yield from self.service_request(ctx)
+            if req_slot.value is not None:
+                yield from self.service_request(ctx)
             any_working = False
             cost_acc = 0.0
-            for victim in self.probe_orders[rank].cycle():
+            for victim in cycle():
                 st.probes += 1
-                cost_acc += shared_ref(rank, victim)
-                avail = self.work_avail[victim].remote_read(ctx.now, rank)
+                cost_acc += row[victim]
+                avail = (slots[victim].value if fast else
+                         slots[victim].remote_read(ctx.now, rank))
                 if avail == 0:
                     any_working = True
                 elif avail > 0:
@@ -272,7 +333,8 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
 
     def barrier_service_hook(self, ctx: UpcContext) -> Generator:
         """In-barrier threads still deny racing steal requests."""
-        yield from self.service_request(ctx)
+        if self.request[ctx.rank].value is not None:
+            yield from self.service_request(ctx)
 
     def on_thread_death(self, rank: int) -> None:
         """Retire the corpse's steal transaction (its give-up watch and

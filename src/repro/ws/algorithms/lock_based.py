@@ -18,9 +18,16 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.metrics.states import SEARCHING, STEALING, WORKING
+from repro.sim.engine import SimEvent, Timeout
 from repro.ws.algorithms.base import NO_WORK, AlgorithmBase, flatten
 
 __all__ = ["LockBasedAlgorithm"]
+
+#: Shared zero-cost Timeout: yielding it schedules the same
+#: ``(now, next_seq)`` resumption an immediately-granted lock event
+#: would, without allocating a SimEvent (Timeouts are immutable, so one
+#: object serves every process).
+_T0 = Timeout(0.0)
 
 
 class LockBasedAlgorithm(AlgorithmBase):
@@ -28,6 +35,24 @@ class LockBasedAlgorithm(AlgorithmBase):
 
     def setup(self) -> None:
         self.stack_locks = self.machine.lock_array("stack_lock")
+        # Own-stack lock fast path: every release/reacquire pays the
+        # same two constant costs (lock round trip + unlock reference),
+        # so precompute them as reusable Timeouts (None when free).
+        # Only valid fault-free -- a lock-stall fault must go through
+        # ctx.unlock's stall roll.
+        net = self.net
+        self._own_lock = []
+        for r, lk in enumerate(self.stack_locks):
+            lc = net.lock_cost(r, lk.home)
+            uc = net.shared_ref(r, lk.home)
+            self._own_lock.append(
+                (lk, Timeout(lc) if lc > 0 else None,
+                 Timeout(uc) if uc > 0 else None))
+        # Only upc-sharedmem hooks after_release (barrier reset); when
+        # the hook is the base no-op, release() skips the generator
+        # round trip entirely.
+        self._after_release_hook = (
+            type(self).after_release is not LockBasedAlgorithm.after_release)
 
     # -- working phase ---------------------------------------------------------
 
@@ -37,33 +62,182 @@ class LockBasedAlgorithm(AlgorithmBase):
         stack = self.stacks[rank]
         st = self.stats[rank]
         self.enter_state(ctx, WORKING)
-        self.work_avail[rank].poke(stack.shared_chunks)
+        wa = self.work_avail[rank]
+        wa.poke(stack.shared_chunks)
+        # Hot loop: aliases to the stack's in-place-mutated containers
+        # plus the precomputed per-batch visit Timeouts.  On fault-free
+        # runs the bodies of ``release``/``reacquire`` (and the stack
+        # moves and lock transitions inside them) are inlined below --
+        # identical yields, counters, and traces, without a generator
+        # frame per lock transaction.  Faulted runs take the method
+        # calls, which roll stalls and keep pending/holder bookkeeping.
+        local = stack.local
+        shared = stack.shared
+        fast = self._fast
+        vt = self._visit_timeouts if fast else None
+        thresh = self._release_threshold
+        limit = self._poll_interval
+        chunk = self.cfg.chunk_size
+        be = self._batch_expand
+        explore = self.explore_batch
+        tr = self.tracer
+        sim = self.sim
+        if fast:
+            lk, lock_to, unlock_to = self._own_lock[rank]
+            fifo = lk.fifo
+            queue = fifo._queue
+        after_hook = self._after_release_hook
         while True:
-            if not stack.local:
-                if stack.shared_chunks:
-                    yield from self.reacquire(ctx)
+            if not local:
+                if shared:
+                    if not fast:
+                        yield from self.reacquire(ctx)
+                        continue
+                    # -- reacquire, inlined -----------------------------
+                    if lock_to is not None:
+                        yield lock_to
+                    if not fifo.locked:
+                        fifo.locked = True
+                        fifo.acquisitions += 1
+                        fifo._acquired_at = sim.now
+                        yield _T0
+                    else:
+                        ev = SimEvent(sim, fifo._ev_name)
+                        fifo.contended_acquisitions += 1
+                        queue.append(ev)
+                        yield ev
+                    if tr.enabled:
+                        tr.emit(sim.now, rank, "lock.acq", lk.name)
+                    if shared:  # re-check: a queued thief may have won
+                        got = shared.pop()
+                        local[0:0] = got
+                        stack.reacquired_nodes += len(got)
+                        wa.writes += 1
+                        wa.value = len(shared)
+                        st.reacquires += 1
+                    if unlock_to is not None:
+                        yield unlock_to
+                    fifo.busy_time += sim.now - fifo._acquired_at
+                    if queue:
+                        fifo.acquisitions += 1
+                        fifo._acquired_at = sim.now
+                        queue.popleft().succeed()
+                    else:
+                        fifo.locked = False
+                    if tr.enabled:
+                        tr.emit(sim.now, rank, "lock.rel", lk.name)
                     continue
                 break
-            n = self.explore_batch(rank)
+            if be is not None:
+                n, pushed = be(local, limit, thresh)
+                stack.pops += n
+                stack.pushes += pushed
+                st.nodes_visited += n
+                if n and tr.enabled:
+                    tr.emit(sim.now, rank, "visit", f"n={n}")
+            else:
+                n = explore(rank)
             if n:
-                yield from ctx.compute(n * self.t_node)
-            while stack.local_size >= self.cfg.release_threshold:
-                yield from self.release(ctx)
-        self.work_avail[rank].poke(NO_WORK)
+                if vt is not None:
+                    yield vt[n]
+                else:
+                    yield from ctx.compute(n * self.t_node)
+            while len(local) >= thresh:
+                if not fast:
+                    yield from self.release(ctx)
+                    continue
+                # -- release, inlined -----------------------------------
+                if lock_to is not None:
+                    yield lock_to
+                if not fifo.locked:
+                    fifo.locked = True
+                    fifo.acquisitions += 1
+                    fifo._acquired_at = sim.now
+                    yield _T0
+                else:
+                    ev = SimEvent(sim, fifo._ev_name)
+                    fifo.contended_acquisitions += 1
+                    queue.append(ev)
+                    yield ev
+                if tr.enabled:
+                    tr.emit(sim.now, rank, "lock.acq", lk.name)
+                released = local[:chunk]
+                del local[:chunk]
+                shared.append(released)
+                stack.released_nodes += chunk
+                wa.writes += 1
+                wa.value = len(shared)
+                if unlock_to is not None:
+                    yield unlock_to
+                fifo.busy_time += sim.now - fifo._acquired_at
+                if queue:
+                    fifo.acquisitions += 1
+                    fifo._acquired_at = sim.now
+                    queue.popleft().succeed()
+                else:
+                    fifo.locked = False
+                if tr.enabled:
+                    tr.emit(sim.now, rank, "lock.rel", lk.name)
+                st.releases += 1
+                if tr.enabled:
+                    tr.emit(sim.now, rank, "release",
+                            f"chunks={len(shared)}")
+                if after_hook:
+                    yield from self.after_release(ctx)
+        wa.poke(NO_WORK)
         self.enter_state(ctx, SEARCHING)
 
     def release(self, ctx) -> Generator:
         """Move one chunk local -> shared, under the own-stack lock."""
         rank = ctx.rank
         stack = self.stacks[rank]
-        lk = self.stack_locks[rank]
-        yield from ctx.lock(lk)
-        stack.release(self.cfg.chunk_size)
-        self.work_avail[rank].poke(stack.shared_chunks)
-        yield from ctx.unlock(lk)
+        tr = self.tracer
+        if self._fast:
+            # Inlined ctx.lock/ctx.unlock on our own stack lock: same
+            # yields (cost Timeout, grant, unlock Timeout) with the
+            # constant costs precomputed in setup().  Fault-free only:
+            # no stall roll, and the pending/holder bookkeeping (read
+            # only by fail-stop recovery) is skipped.  An uncontended
+            # grant needs no SimEvent at all -- a zero Timeout schedules
+            # the identical resumption.
+            lk, lock_to, unlock_to = self._own_lock[rank]
+            fifo = lk.fifo
+            sim = self.sim
+            if lock_to is not None:
+                yield lock_to
+            if not fifo.locked:
+                fifo.locked = True
+                fifo.acquisitions += 1
+                fifo._acquired_at = sim.now
+                yield _T0
+            else:
+                ev = SimEvent(sim, fifo._ev_name)
+                fifo.contended_acquisitions += 1
+                fifo._queue.append(ev)
+                yield ev
+            if tr.enabled:
+                tr.emit(sim.now, rank, "lock.acq", lk.name)
+            stack.release(self.cfg.chunk_size)
+            wa = self.work_avail[rank]
+            wa.writes += 1
+            wa.value = len(stack.shared)
+            if unlock_to is not None:
+                yield unlock_to
+            fifo.release()
+            if tr.enabled:
+                tr.emit(sim.now, rank, "lock.rel", lk.name)
+        else:
+            lk = self.stack_locks[rank]
+            yield from ctx.lock(lk)
+            stack.release(self.cfg.chunk_size)
+            self.work_avail[rank].poke(stack.shared_chunks)
+            yield from ctx.unlock(lk)
         self.stats[rank].releases += 1
-        ctx.trace("release", f"chunks={stack.shared_chunks}")
-        yield from self.after_release(ctx)
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, rank, "release",
+                    f"chunks={stack.shared_chunks}")
+        if self._after_release_hook:
+            yield from self.after_release(ctx)
 
     def after_release(self, ctx) -> Generator:
         """Hook: upc-sharedmem resets the cancelable barrier here."""
@@ -78,6 +252,38 @@ class LockBasedAlgorithm(AlgorithmBase):
         """
         rank = ctx.rank
         stack = self.stacks[rank]
+        if self._fast:
+            # Same inlined lock/unlock as release() above.
+            tr = self.tracer
+            lk, lock_to, unlock_to = self._own_lock[rank]
+            fifo = lk.fifo
+            sim = self.sim
+            if lock_to is not None:
+                yield lock_to
+            if not fifo.locked:
+                fifo.locked = True
+                fifo.acquisitions += 1
+                fifo._acquired_at = sim.now
+                yield _T0
+            else:
+                ev = SimEvent(sim, fifo._ev_name)
+                fifo.contended_acquisitions += 1
+                fifo._queue.append(ev)
+                yield ev
+            if tr.enabled:
+                tr.emit(sim.now, rank, "lock.acq", lk.name)
+            if stack.shared:
+                stack.reacquire()
+                wa = self.work_avail[rank]
+                wa.writes += 1
+                wa.value = len(stack.shared)
+                self.stats[rank].reacquires += 1
+            if unlock_to is not None:
+                yield unlock_to
+            fifo.release()
+            if tr.enabled:
+                tr.emit(sim.now, rank, "lock.rel", lk.name)
+            return
         lk = self.stack_locks[rank]
         yield from ctx.lock(lk)
         if stack.shared_chunks:
@@ -95,7 +301,10 @@ class LockBasedAlgorithm(AlgorithmBase):
         rank = ctx.rank
         st = self.stats[rank]
         st.steal_attempts += 1
-        ctx.trace("steal.req", f"victim=T{victim}")
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, rank, "steal.req",
+                    f"victim=T{victim}")
         vstack = self.stacks[victim]
         lk = self.stack_locks[victim]
         yield from ctx.lock(lk)
@@ -105,7 +314,9 @@ class LockBasedAlgorithm(AlgorithmBase):
         if nch == 0:
             # The probe raced a competing thief or the owner; move on.
             yield from ctx.unlock(lk)
-            ctx.trace("steal.fail", f"victim=T{victim} reason=empty")
+            if tr.enabled:
+                tr.emit(self.machine.sim.now, rank, "steal.fail",
+                        f"victim=T{victim} reason=empty")
             return False
         take = self.steal_amount(nch)
         chunks = vstack.steal_chunks(take)
@@ -129,7 +340,9 @@ class LockBasedAlgorithm(AlgorithmBase):
         st.steals_ok += 1
         st.chunks_stolen += take
         st.nodes_stolen += len(nodes)
-        ctx.trace("steal", f"from=T{victim} chunks={take} nodes={len(nodes)}")
+        if tr.enabled:
+            tr.emit(self.machine.sim.now, rank, "steal",
+                    f"from=T{victim} chunks={take} nodes={len(nodes)}")
         return True
 
     # -- searching -----------------------------------------------------------------
@@ -145,15 +358,22 @@ class LockBasedAlgorithm(AlgorithmBase):
         """
         rank = ctx.rank
         st = self.stats[rank]
-        shared_ref = self.net.shared_ref
+        row = self._ref_row(rank)
+        slots = self._wa_slots
+        # Fault-free, a staleable slot's window can never open, so the
+        # probe may read the value directly (identical result) instead
+        # of paying remote_read's staleness bookkeeping per victim.
+        fast = self._fast
+        cycle = self.probe_orders[rank].cycle
         backoff = self.cfg.search_backoff_min
         while True:
             any_working = False
             cost_acc = 0.0
-            for victim in self.probe_orders[rank].cycle():
+            for victim in cycle():
                 st.probes += 1
-                cost_acc += shared_ref(rank, victim)
-                avail = self.work_avail[victim].remote_read(ctx.now, rank)
+                cost_acc += row[victim]
+                avail = (slots[victim].value if fast else
+                         slots[victim].remote_read(ctx.now, rank))
                 if avail == 0:
                     any_working = True
                 elif avail > 0:

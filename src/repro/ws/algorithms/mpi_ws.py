@@ -52,6 +52,9 @@ class MpiWorkStealing(AlgorithmBase):
     def setup(self) -> None:
         self.world = MsgWorld(self.machine)
         self.endpoints = [self.world.endpoint(c) for c in self.machine.contexts]
+        #: Prebuilt tag filter for the per-batch poll (iprobe uses a
+        #: frozenset argument as-is instead of rebuilding one per call).
+        self._poll_tags = frozenset((REQUEST, TOKEN))
         self.tokens = [TokenState(r, self.machine.n_threads)
                        for r in range(self.machine.n_threads)]
         self.terminated = False
@@ -160,9 +163,21 @@ class MpiWorkStealing(AlgorithmBase):
         st = self.stats[rank]
         ep = self.endpoints[rank]
         self.enter_state(ctx, WORKING)
+        iprobe = ep.iprobe
+        poll_tags = self._poll_tags
+        local = stack.local
+        shared = stack.shared
+        vt = self._visit_timeouts if self._fast else None
+        thresh = self._release_threshold
+        limit = self._poll_interval
+        chunk = self.cfg.chunk_size
+        be = self._batch_expand
+        explore = self.explore_batch
+        tr = self.tracer
+        sim = self.sim
         while True:
             # Poll for steal requests and tokens (the MPI polling point).
-            while (msg := ep.iprobe(tags=(REQUEST, TOKEN))) is not None:
+            while (msg := iprobe(tags=poll_tags)) is not None:
                 if msg.tag == REQUEST:
                     yield from self._serve_request(ctx, msg.src,
                                                    seq=msg.payload)
@@ -175,17 +190,38 @@ class MpiWorkStealing(AlgorithmBase):
                     # the token while busy invalidates the round.
                     colour = BLACK if rank == 0 else msg.payload
                     self.tokens[rank].on_token(colour)
-            if not stack.local:
-                if stack.shared_chunks:
-                    stack.reacquire()
+            if not local:
+                if shared:
+                    # SplitStack.reacquire inlined (owner-only stack).
+                    got = shared.pop()
+                    local[0:0] = got
+                    stack.reacquired_nodes += len(got)
                     st.reacquires += 1
                     continue
                 break
-            n = self.explore_batch(rank)
+            if be is not None:
+                # explore_batch's bookkeeping, inlined (same counters,
+                # same trace) to skip the wrapper call per batch.
+                n, pushed = be(local, limit, thresh)
+                stack.pops += n
+                stack.pushes += pushed
+                st.nodes_visited += n
+                if n and tr.enabled:
+                    tr.emit(sim.now, rank, "visit", f"n={n}")
+            else:
+                n = explore(rank)
             if n:
-                yield from ctx.compute(n * self.t_node)
-            while stack.local_size >= self.cfg.release_threshold:
-                stack.release(self.cfg.chunk_size)
+                if vt is not None:
+                    yield vt[n]
+                else:
+                    yield from ctx.compute(n * self.t_node)
+            while len(local) >= thresh:
+                # SplitStack.release inlined (size guard redundant:
+                # len(local) >= thresh >= chunk).
+                released = local[:chunk]
+                del local[:chunk]
+                shared.append(released)
+                stack.released_nodes += chunk
                 st.releases += 1
         self.enter_state(ctx, SEARCHING)
 

@@ -16,6 +16,7 @@ from typing import Generator
 
 from repro.metrics.states import BARRIER, SEARCHING, STEALING
 from repro.pgas.machine import UpcContext
+from repro.sim.engine import Timeout
 
 __all__ = ["StreamlinedTerminationMixin"]
 
@@ -47,7 +48,13 @@ class StreamlinedTerminationMixin:
             yield from self.barrier.announce(ctx)
             return True
         poll = self.cfg.barrier_poll_min
-        order = self.probe_orders[ctx.rank]
+        rank = ctx.rank
+        order = self.probe_orders[rank]
+        row = self._ref_row(rank)
+        slots = self._wa_slots
+        # Fault-free, compute() is an identity Timeout and a staleable
+        # read can never hit an open window -- take the direct paths.
+        fast = self._fast
         while True:
             yield from self.barrier_service_hook(ctx)
             if self.barrier.terminated:
@@ -65,10 +72,15 @@ class StreamlinedTerminationMixin:
             # Inspect a single other thread (Sect. 3.3.1).
             victim = order.one()
             st.probes += 1
-            cost = self.net.shared_ref(ctx.rank, victim)
+            cost = row[victim]
             if cost > 0:
-                yield from ctx.compute(cost)
-            if self.work_avail[victim].remote_read(ctx.now, ctx.rank) > 0:
+                if fast:
+                    yield Timeout(cost)
+                else:
+                    yield from ctx.compute(cost)
+            avail = (slots[victim].value if fast else
+                     slots[victim].remote_read(ctx.now, rank))
+            if avail > 0:
                 # Leave the barrier before touching the work so the
                 # count never certifies termination with work in flight.
                 yield from self.barrier.leave(ctx)
@@ -86,5 +98,9 @@ class StreamlinedTerminationMixin:
                     return True
                 poll = self.cfg.barrier_poll_min
                 continue
-            yield from ctx.compute(poll)
+            if poll > 0:
+                if fast:
+                    yield Timeout(poll)
+                else:
+                    yield from ctx.compute(poll)
             poll = min(poll * 2.0, self.cfg.barrier_poll_max)

@@ -181,6 +181,119 @@ def test_event_limit_enforced():
         sim.run()
 
 
+def test_event_limit_budget_is_exact():
+    """``max_events=N`` dispatches exactly N events; the N+1-th raises.
+
+    Pins the budget semantics (an off-by-one here would silently shift
+    every livelock diagnostic by one event).
+    """
+    sim = Simulator(max_events=10)
+
+    def spinner():
+        while True:
+            yield Timeout(1.0)
+
+    sim.spawn(spinner())
+    with pytest.raises(EventLimitExceeded):
+        sim.run()
+    assert sim.events_processed == 10
+
+
+def test_event_limit_budget_is_exact_with_deadline():
+    """The ``run(until=...)`` variant enforces the same exact budget."""
+    sim = Simulator(max_events=10)
+
+    def spinner():
+        while True:
+            yield Timeout(1.0)
+
+    sim.spawn(spinner())
+    with pytest.raises(EventLimitExceeded):
+        sim.run(until=100.0)
+    assert sim.events_processed == 10
+
+
+def test_run_until_multiple_segments():
+    """Pause/resume across several deadlines, then drain to completion."""
+    sim = Simulator()
+    log = []
+
+    def proc():
+        for _ in range(4):
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+    sim.spawn(proc())
+    assert sim.run(until=1.0) == 1.0
+    assert log == []
+    assert sim.run(until=3.0) == 3.0
+    assert log == [2.0]
+    # A deadline landing exactly on an event consumes that event.
+    assert sim.run(until=4.0) == 4.0
+    assert log == [2.0, 4.0]
+    assert sim.run() == 8.0
+    assert log == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_check_quiescent_ok_after_partial_run():
+    """A paused run with pending wake-ups is not a deadlock."""
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(10.0)
+
+    sim.spawn(proc())
+    sim.run(until=5.0)
+    sim.check_quiescent()  # live process, non-empty heap: fine
+    sim.run()
+    sim.check_quiescent()  # finished cleanly: fine
+
+
+def test_interrupt_drops_stale_resumption_uncounted():
+    """An interrupted process's pending wake-up is skipped: it must not
+    advance the clock or count against the event budget."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield Timeout(5.0)
+        finally:
+            log.append("dead")
+
+    def killer(proc):
+        yield Timeout(1.0)
+        sim.interrupt(proc, RuntimeError("kill"))
+
+    p = sim.spawn(victim())
+    sim.spawn(killer(p))
+    assert sim.run() == 1.0  # the stale t=5 wake-up never ran the clock
+    assert log == ["dead"]
+    assert not p.alive
+    # victim start + killer start + killer wake-up = 3 dispatches; the
+    # victim's t=5 resumption is stale and uncounted.
+    assert sim.events_processed == 3
+
+
+def test_interrupt_stale_resumption_skipped_under_deadline():
+    """Same stale-skip guarantee on the ``run(until=...)`` path."""
+    sim = Simulator()
+
+    def victim():
+        yield Timeout(5.0)
+
+    def killer(proc):
+        yield Timeout(1.0)
+        sim.interrupt(proc, RuntimeError("kill"))
+
+    p = sim.spawn(victim())
+    sim.spawn(killer(p))
+    assert sim.run(until=10.0) == 1.0
+    assert not p.alive
+    assert sim.events_processed == 3
+    sim.check_quiescent()
+
+
 def test_deadlock_detection():
     sim = Simulator()
     ev = sim.event("never")

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Measure the discrete-event engine on the Figure-4 serial sweep.
+
+``bench_sweep.py`` compares the *sweep* strategies (seed-style vs
+cached vs parallel); this tool pins the *engine itself*: one serial
+pass over the ``fig4`` sweep (shared materialized tree, ``jobs=1``) so
+wall-clock differences come from per-event cost, not tree expansion or
+process fan-out.
+
+The committed ``BENCH_engine.json`` carries two blocks:
+
+* ``seed_serial`` -- the baseline captured from the pre-optimization
+  engine (recorded once with ``--record-seed``; later runs preserve it).
+* ``optimized``   -- the current engine, re-measured on every run.
+
+Both blocks carry a ``results_checksum`` over every run's identity
+(algorithm, threads, k, total_nodes, engine_events, sim_time), so the
+speedup claim is only reported alongside proof that the optimized
+engine produced a bit-identical schedule.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine.py --out BENCH_engine.json
+    PYTHONPATH=src python tools/bench_engine.py --check   # CI gate
+
+``--check`` exits non-zero only on hard correctness drift (engine
+events or checksum differ from the committed baseline); wall-clock is
+reported, never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.config import setup_for  # noqa: E402
+from repro.harness.sweep import run_sweep  # noqa: E402
+
+
+def results_checksum(runs) -> str:
+    """SHA-1 over every run's schedule-identity fields.
+
+    Everything here is a deterministic function of the configuration:
+    two engines producing the same checksum executed the same schedule.
+    """
+    h = hashlib.sha1()
+    for r in runs:
+        h.update((f"{r.algorithm},{r.n_threads},{r.chunk_size},"
+                  f"{r.total_nodes},{r.engine_events},"
+                  f"{r.sim_time!r}\n").encode())
+    return h.hexdigest()
+
+
+def measure(figure: str, scale: str) -> dict:
+    """One serial (jobs=1), cache-on sweep; per-variant events/sec."""
+    setup = setup_for(figure, scale)
+    t0 = time.perf_counter()
+    sweep = run_sweep(setup, jobs=1)
+    wall = time.perf_counter() - t0
+    events = sum(r.engine_events for r in sweep.runs)
+    per_variant: dict = {}
+    for r in sweep.runs:
+        v = per_variant.setdefault(
+            r.algorithm, {"engine_events": 0, "host_seconds": 0.0})
+        v["engine_events"] += r.engine_events
+        v["host_seconds"] += r.host_seconds
+    for v in per_variant.values():
+        v["host_seconds"] = round(v["host_seconds"], 3)
+        v["events_per_sec"] = round(
+            v["engine_events"] / v["host_seconds"], 1) \
+            if v["host_seconds"] > 0 else None
+    return {
+        "wall_seconds": round(wall, 3),
+        "runs": len(sweep.runs),
+        "engine_events": events,
+        "events_per_sec": round(events / wall, 1),
+        "results_checksum": results_checksum(sweep.runs),
+        "per_variant": per_variant,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--figure", default="fig4")
+    ap.add_argument("--scale", default="quick")
+    ap.add_argument("--out", default="BENCH_engine.json")
+    ap.add_argument("--record-seed", action="store_true",
+                    help="store this measurement as the seed_serial "
+                         "baseline (run once, before optimizing)")
+    ap.add_argument("--check", action="store_true",
+                    help="CI gate: fail on engine_events/checksum drift "
+                         "vs the committed baseline (wall-clock is "
+                         "reported, not gated)")
+    args = ap.parse_args(argv)
+
+    committed = None
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            committed = json.load(fh)
+
+    print(f"benchmarking engine on {args.figure}[{args.scale}] "
+          "serial sweep", flush=True)
+    current = measure(args.figure, args.scale)
+    print(f"engine: {current['wall_seconds']:.1f}s "
+          f"{current['events_per_sec']:.0f} events/sec", flush=True)
+
+    if args.record_seed or committed is None:
+        seed = dict(current)
+    else:
+        seed = committed["seed_serial"]
+
+    identical = (current["engine_events"] == seed["engine_events"]
+                 and current["results_checksum"] == seed["results_checksum"])
+    report = {
+        "benchmark": f"{args.figure}[{args.scale}] serial sweep "
+                     "(jobs=1, tree cache on)",
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "seed_serial": seed,
+        "optimized": current,
+        "speedup_vs_seed": round(
+            current["events_per_sec"] / seed["events_per_sec"], 3),
+        "engine_events_identical": identical,
+        "results_identical": identical,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    print(f"speedup vs seed engine: {report['speedup_vs_seed']}x "
+          f"(results identical: {identical})")
+
+    if args.check:
+        if committed is None:
+            print("check: no committed baseline to compare against",
+                  file=sys.stderr)
+            return 2
+        drift = []
+        if current["engine_events"] != committed["seed_serial"]["engine_events"]:
+            drift.append(
+                f"engine_events {current['engine_events']} != committed "
+                f"{committed['seed_serial']['engine_events']}")
+        if current["results_checksum"] != committed["seed_serial"]["results_checksum"]:
+            drift.append(
+                f"results_checksum {current['results_checksum']} != "
+                f"committed {committed['seed_serial']['results_checksum']}")
+        if drift:
+            print("check FAILED (schedule drift):", file=sys.stderr)
+            for d in drift:
+                print(f"  {d}", file=sys.stderr)
+            return 1
+        print("check OK: schedule identical to committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,23 @@ from repro.harness.config import setup_for  # noqa: E402
 from repro.harness.sweep import run_sweep  # noqa: E402
 
 
+def _per_variant(sweep) -> dict:
+    """Aggregate events/sec per algorithm variant (in-run host time, so
+    the numbers are comparable across serial and parallel sweeps)."""
+    out: dict = {}
+    for r in sweep.runs:
+        v = out.setdefault(r.algorithm,
+                           {"engine_events": 0, "host_seconds": 0.0})
+        v["engine_events"] += r.engine_events
+        v["host_seconds"] += r.host_seconds
+    for v in out.values():
+        v["host_seconds"] = round(v["host_seconds"], 3)
+        v["events_per_sec"] = round(
+            v["engine_events"] / v["host_seconds"], 1) \
+            if v["host_seconds"] > 0 else None
+    return out
+
+
 def _measure(setup, jobs):
     import repro.harness.parallel as parallel
 
@@ -50,6 +67,7 @@ def _measure(setup, jobs):
         "in_run_host_seconds": round(
             sum(r.host_seconds for r in sweep.runs), 3),
         "jobs": jobs,
+        "per_variant": _per_variant(sweep),
     }, sweep
 
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Profile the simulation hot path with cProfile.
+
+Runs a figure sweep (serial, cache on -- the same workload
+``bench_engine.py`` times) under :mod:`cProfile` and prints the top-N
+functions, so "where do the events/sec go?" has a one-command answer::
+
+    PYTHONPATH=src python tools/profile_run.py                 # fig4[quick]
+    PYTHONPATH=src python tools/profile_run.py --top 40
+    PYTHONPATH=src python tools/profile_run.py --sort cumtime
+    PYTHONPATH=src python tools/profile_run.py --out profile.pstats
+
+Notes for reading the output (see docs/performance.md):
+
+* cProfile adds per-call overhead, inflating call-heavy frames (the
+  engine loop, ``batch_expand``) by roughly 3x relative to their real
+  share -- compare *ratios between runs*, not absolute seconds.
+* ``tottime`` (time inside the frame itself) is the optimization
+  signal; ``cumtime`` mostly mirrors the generator delegation chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.config import setup_for  # noqa: E402
+from repro.harness.sweep import run_sweep  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--figure", default="fig4")
+    ap.add_argument("--scale", default="quick")
+    ap.add_argument("--top", type=int, default=25,
+                    help="number of functions to print (default 25)")
+    ap.add_argument("--sort", default="tottime",
+                    choices=["tottime", "cumtime", "ncalls"],
+                    help="pstats sort key (default tottime)")
+    ap.add_argument("--out", default=None,
+                    help="also dump raw pstats data to this file "
+                         "(inspect later with pstats/snakeviz)")
+    args = ap.parse_args(argv)
+
+    setup = setup_for(args.figure, args.scale)
+    print(f"profiling {setup.describe()} (serial, cache on)", flush=True)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sweep = run_sweep(setup, jobs=1)
+    profiler.disable()
+
+    events = sum(r.engine_events for r in sweep.runs)
+    print(f"{len(sweep.runs)} runs, {events} engine events "
+          "(profiled wall-clock is inflated by cProfile overhead)\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
