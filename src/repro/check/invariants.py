@@ -1,0 +1,284 @@
+"""Online invariant checking for work-stealing runs.
+
+:class:`InvariantMonitor` poses as a tracer (``machine.tracer``): every
+hook site that already emits trace records -- stack batches, steals,
+services, lock transitions, barrier/termination announcements, fault
+injections -- drives the checks *during* the run, at the exact emit
+where a protocol transition completed.  Traced runs are pinned
+bit-identical to untraced runs (tracers only append to a list), so
+attaching the monitor never perturbs the schedule it is checking.
+
+Checked invariants (see ``docs/correctness.md`` for the catalog):
+
+I1  Node conservation (global), closed over steals-in-flight::
+
+        sum(total_nodes) == sum(pushes) - sum(pops)
+                            - sum(stolen_from_me) - lost_from_stacks
+
+I2  Per-stack shared-region ledger (live ranks)::
+
+        shared_nodes == released - reacquired - stolen_from_me
+        local_size   == pushes - pops - released + reacquired
+
+I3  Single owner per node: no node descriptor appears twice across all
+    local regions, shared chunks, and the fault layer's in-flight
+    transfer journals.
+
+I4  No termination while work remains: at every termination
+    announcement, all live stacks are empty, nothing is in flight, and
+    (mpi-ws) no WORK message is pending in any mailbox.
+
+I5  Lock acquire/release pairing: a lock is released only by its
+    current holder and never acquired while held (fail-stops forgive
+    the corpse's holdings, mirroring ``GlobalLock.on_thread_death``).
+
+A violation raises :class:`~repro.errors.InvariantViolation` from
+inside the run, freezing the schedule at the first inconsistent state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InvariantViolation
+
+__all__ = ["InvariantMonitor"]
+
+#: Emits that mark a protocol transition worth a full ownership scan
+#: (cheap emits like ``visit`` fall back to the periodic scan).
+_SCAN_KINDS = frozenset({"steal", "service", "chunk.get"})
+#: Emits that declare (or relay) global termination.
+_TERM_KINDS = frozenset({"sbarrier.announce", "cbarrier.terminate",
+                         "mpi.term"})
+#: Emits after which a rank's lock holdings are forgiven (fail-stop).
+_DEATH_KINDS = frozenset({"fault.kill", "sim.interrupt"})
+
+
+class InvariantMonitor:
+    """Tracer-shaped online checker; bind with ``tracer=monitor``.
+
+    The harness calls :meth:`attach_algorithm` right after the
+    algorithm is constructed (see ``run_experiment``), giving the
+    monitor white-box access to the stacks, counters, and fault
+    ledgers the invariants are phrased over.
+    """
+
+    def __init__(self, scan_period: int = 64) -> None:
+        #: Tracer protocol: hook sites test this before formatting.
+        self.enabled = True
+        self.scan_period = scan_period
+        self.algo = None
+        self.machine = None
+        #: Lock name -> holder rank (I5).
+        self._holders: dict[str, int] = {}
+        #: Per-kind emit counts (observability + final_check evidence).
+        self.counts: dict[str, int] = {}
+        #: Number of invariant evaluations performed.
+        self.checks = 0
+        self.terminations_seen = 0
+        self._emits = 0
+        self._scannable = True  # cleared if node descriptors unhashable
+
+    # -- binding -----------------------------------------------------------
+
+    def attach_algorithm(self, algo) -> None:
+        self.algo = algo
+        self.machine = algo.machine
+
+    # -- tracer protocol ---------------------------------------------------
+
+    def emit(self, time: float, thread: int, kind: str, detail: str = "") -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        algo = self.algo
+        if algo is None:
+            return
+        self._emits += 1
+        if kind == "lock.acq":
+            holder = self._holders.get(detail)
+            if holder is not None:
+                self._fail(time, kind,
+                           f"T{thread} acquired lock {detail!r} already "
+                           f"held by T{holder}")
+            self._holders[detail] = thread
+        elif kind == "lock.rel":
+            holder = self._holders.pop(detail, None)
+            if holder != thread:
+                self._fail(time, kind,
+                           f"T{thread} released lock {detail!r} held by "
+                           f"{'nobody' if holder is None else f'T{holder}'}")
+        elif kind in _DEATH_KINDS:
+            # Fail-stop: the runtime frees the corpse's locks with no
+            # lock.rel emit; forgive them here so the successor's
+            # lock.acq is not misread as a double acquire.
+            self._holders = {name: r for name, r in self._holders.items()
+                             if r != thread}
+        self._check_ledgers(time, kind)
+        if kind in _TERM_KINDS:
+            self.terminations_seen += 1
+            self._check_termination(time, thread, kind)
+            self._scan_ownership(time, kind)
+        elif kind in _SCAN_KINDS or self._emits % self.scan_period == 0:
+            self._scan_ownership(time, kind)
+
+    # -- invariants --------------------------------------------------------
+
+    def _fail(self, time: float, kind: str, msg: str) -> None:
+        raise InvariantViolation(
+            f"[t={time:.6f} at {kind!r} emit #{self._emits}] {msg}")
+
+    def _check_ledgers(self, time: float, kind: str) -> None:
+        """I1 + I2 + in_flight sanity, at every emit."""
+        algo = self.algo
+        faults = self.machine.faults
+        dead = faults.dead if faults is not None else ()
+        lost_stack = faults._lost_stack_nodes if faults is not None else 0
+        total = pushes = pops = stolen = 0
+        for rank, stack in enumerate(algo.stacks):
+            shared_nodes = sum(len(c) for c in stack.shared)
+            total += len(stack.local) + shared_nodes
+            pushes += stack.pushes
+            pops += stack.pops
+            stolen += stack.stolen_from_me_nodes
+            if rank in dead:
+                # A fail-stopped stack was cleared by the loss
+                # accountant; its counters are frozen mid-ledger.
+                continue
+            if shared_nodes != (stack.released_nodes - stack.reacquired_nodes
+                                - stack.stolen_from_me_nodes):
+                self._fail(
+                    time, kind,
+                    f"T{rank} shared-region ledger: holds {shared_nodes} "
+                    f"node(s), expected released({stack.released_nodes}) "
+                    f"- reacquired({stack.reacquired_nodes}) "
+                    f"- stolen({stack.stolen_from_me_nodes})")
+            expect_local = (stack.pushes - stack.pops
+                            - stack.released_nodes + stack.reacquired_nodes)
+            if len(stack.local) != expect_local:
+                self._fail(
+                    time, kind,
+                    f"T{rank} local-region ledger: holds "
+                    f"{len(stack.local)} node(s), expected {expect_local} "
+                    f"(pushes={stack.pushes} pops={stack.pops} "
+                    f"released={stack.released_nodes} "
+                    f"reacquired={stack.reacquired_nodes})")
+        expected = pushes - pops - stolen - lost_stack
+        if total != expected:
+            self._fail(
+                time, kind,
+                f"global conservation: stacks hold {total} node(s) but "
+                f"ledger expects {expected} (pushes={pushes} pops={pops} "
+                f"stolen={stolen} lost_from_stacks={lost_stack})")
+        if algo.in_flight_nodes < 0:
+            self._fail(time, kind,
+                       f"in_flight_nodes negative ({algo.in_flight_nodes})")
+        if faults is not None:
+            on_stack = faults.counters.lost_nodes_on_stack
+            in_flight = faults.counters.lost_nodes_in_flight
+            if faults.counters.lost_nodes != on_stack + in_flight:
+                self._fail(
+                    time, kind,
+                    f"loss attribution: {faults.counters.lost_nodes} lost "
+                    f"node(s) but on_stack={on_stack} "
+                    f"+ in_flight={in_flight}")
+        self.checks += 1
+
+    def _scan_ownership(self, time: float, kind: str) -> None:
+        """I3: every node descriptor lives in exactly one place."""
+        if not self._scannable:
+            return
+        algo = self.algo
+        owner: dict = {}
+        try:
+            for rank, stack in enumerate(algo.stacks):
+                for node in stack.local:
+                    prev = owner.get(node)
+                    if prev is not None:
+                        self._fail(time, kind,
+                                   f"node {node!r} owned twice: {prev} "
+                                   f"and T{rank}.local")
+                    owner[node] = f"T{rank}.local"
+                for chunk in stack.shared:
+                    for node in chunk:
+                        prev = owner.get(node)
+                        if prev is not None:
+                            self._fail(time, kind,
+                                       f"node {node!r} owned twice: {prev} "
+                                       f"and T{rank}.shared")
+                        owner[node] = f"T{rank}.shared"
+        except TypeError:
+            # Custom search space with unhashable nodes: ownership
+            # scanning is not applicable; ledgers still run.
+            self._scannable = False
+            return
+        faults = self.machine.faults
+        if faults is not None:
+            for rank, nodes in faults._open_transfer.items():
+                for node in nodes:
+                    prev = owner.get(node)
+                    if prev is not None:
+                        self._fail(time, kind,
+                                   f"node {node!r} owned twice: {prev} and "
+                                   f"T{rank}.open_transfer")
+                    owner[node] = f"T{rank}.open_transfer"
+            for thief, nodes in faults._responses.items():
+                for node in nodes:
+                    prev = owner.get(node)
+                    if prev is not None:
+                        self._fail(time, kind,
+                                   f"node {node!r} owned twice: {prev} and "
+                                   f"T{thief}.response")
+                    owner[node] = f"T{thief}.response"
+        self.checks += 1
+
+    def _check_termination(self, time: float, thread: int, kind: str) -> None:
+        """I4: the declaring instant must be globally work-free."""
+        algo = self.algo
+        faults = self.machine.faults
+        dead = faults.dead if faults is not None else ()
+        for rank, stack in enumerate(algo.stacks):
+            if rank in dead:
+                continue
+            held = len(stack.local) + sum(len(c) for c in stack.shared)
+            if held:
+                self._fail(time, kind,
+                           f"T{thread} declared termination while T{rank} "
+                           f"holds {held} unprocessed node(s)")
+        if algo.in_flight_nodes:
+            self._fail(time, kind,
+                       f"T{thread} declared termination with "
+                       f"{algo.in_flight_nodes} node(s) in flight")
+        world = getattr(algo, "world", None)
+        if world is not None:
+            for rank, pending in enumerate(world._pending):
+                stray = [m for (_, _, m) in pending if m.tag == "WORK"]
+                if stray:
+                    self._fail(time, kind,
+                               f"T{thread} declared termination with "
+                               f"{len(stray)} WORK message(s) pending for "
+                               f"T{rank}")
+        self.checks += 1
+
+    # -- end of run --------------------------------------------------------
+
+    def final_check(self) -> None:
+        """Post-run assertions for a run that completed without error."""
+        if self.algo is None:
+            raise InvariantViolation("monitor was never attached to a run")
+        now = self.machine.sim.now
+        if self.terminations_seen == 0:
+            self._fail(now, "final",
+                       "run completed but no termination was ever declared "
+                       f"(kinds seen: {sorted(self.counts)})")
+        if self._holders:
+            self._fail(now, "final", f"locks still held: {self._holders}")
+        self._check_ledgers(now, "final")
+        self._check_termination(now, -1, "final")
+        self._scan_ownership(now, "final")
+
+    def summary(self) -> dict:
+        return {
+            "checks": self.checks,
+            "emits": self._emits,
+            "terminations_seen": self.terminations_seen,
+            "ownership_scans": self._scannable,
+        }

@@ -1,0 +1,121 @@
+"""One fuzz cell = one checked run; the bridge between the fuzzing
+driver and ``run_experiment``.
+
+:func:`check_run` executes a single (variant, schedule, fault-plan)
+cell with the :class:`~repro.check.invariants.InvariantMonitor`
+attached and every error class the harness can raise folded into a
+:class:`CheckOutcome` -- the fuzzer and the shrinker treat runs as
+pure functions from cell parameters to outcome, which is what makes
+delta-debugging them trivial.
+
+A *cell* is just the keyword arguments of :func:`check_run`; shrunk
+reproducers serialize it as a dict literal (see
+:func:`repro.check.shrink.reproducer_source`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.check.invariants import InvariantMonitor
+from repro.check.tiebreak import DelayTieBreak, RandomTieBreak
+
+__all__ = ["CheckOutcome", "check_run", "VARIANTS"]
+
+#: Every registered algorithm label, figure order then extensions.
+VARIANTS = ("upc-sharedmem", "upc-term", "upc-term-rapdif",
+            "upc-distmem", "upc-distmem-hier", "mpi-ws")
+
+
+@dataclass
+class CheckOutcome:
+    """Everything the fuzzer needs to know about one checked run."""
+
+    ok: bool
+    variant: str
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    engine_events: int = 0
+    total_nodes: int = 0
+    sim_time: float = 0.0
+    lost_work: int = 0
+    monitor: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        if self.ok:
+            return (f"ok events={self.engine_events} "
+                    f"nodes={self.total_nodes}")
+        return f"{self.error_type}: {self.error}"
+
+
+def check_run(
+    variant: str,
+    *,
+    threads: int = 8,
+    chunk_size: int = 4,
+    preset: str = "kittyhawk",
+    b0: int = 64,
+    q: float = 0.48,
+    m: int = 2,
+    tree_seed: int = 1,
+    seed: int = 0,
+    schedule_seed: Optional[int] = None,
+    defer: Sequence[int] = (),
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
+    max_events: int = 500_000,
+    verify: bool = True,
+) -> CheckOutcome:
+    """Run one invariant-checked cell; never raises a protocol error.
+
+    ``schedule_seed`` selects a :class:`RandomTieBreak` permutation;
+    ``defer`` (mutually exclusive in practice, checked here) selects a
+    :class:`DelayTieBreak` bounded reordering; neither gives the
+    canonical schedule.  ``fault_spec`` is the
+    :func:`repro.faults.plan.parse_fault_spec` grammar.
+
+    Errors caught: every :class:`~repro.errors.ReproError` subclass --
+    invariant violations, protocol assertions, deadlocks, event-budget
+    exhaustion, verification mismatches.  Anything else (a genuine
+    crash) propagates.
+    """
+    # Imported here: repro.check must stay importable without pulling
+    # the whole harness (docs tooling imports the policies alone).
+    from repro.faults.plan import parse_fault_spec
+    from repro.harness.runner import run_experiment
+    from repro.uts.params import TreeParams
+
+    if schedule_seed is not None and defer:
+        raise ValueError("schedule_seed and defer are mutually exclusive")
+    tie_break = None
+    if schedule_seed is not None:
+        tie_break = RandomTieBreak(schedule_seed)
+    elif defer:
+        tie_break = DelayTieBreak(defer)
+    plan = parse_fault_spec(fault_spec, seed=fault_seed) if fault_spec else None
+    monitor = InvariantMonitor()
+    tree = TreeParams.binomial(b0=b0, m=m, q=q, seed=tree_seed)
+    try:
+        res = run_experiment(
+            variant, tree=tree, threads=threads, preset=preset,
+            chunk_size=chunk_size, seed=seed, verify=verify,
+            tracer=monitor, max_events=max_events, faults=plan,
+            tie_break=tie_break,
+        )
+        monitor.final_check()
+    except ReproError as exc:
+        events = (monitor.machine.sim.events_processed
+                  if monitor.machine is not None else 0)
+        return CheckOutcome(
+            ok=False, variant=variant,
+            error_type=type(exc).__name__, error=str(exc),
+            engine_events=events, monitor=monitor.summary(),
+        )
+    return CheckOutcome(
+        ok=True, variant=variant,
+        engine_events=res.engine_events, total_nodes=res.total_nodes,
+        sim_time=res.sim_time, lost_work=res.lost_work,
+        monitor=monitor.summary(),
+    )

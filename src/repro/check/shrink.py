@@ -1,0 +1,134 @@
+"""Shrink a failing fuzz cell to a minimal reproducer.
+
+Given a cell (keyword dict for :func:`repro.check.runner.check_run`)
+whose run fails, produce the smallest cell that still fails with the
+*same error class*:
+
+1. **Fault minimization** -- greedily drop ``fault_spec`` clauses
+   (ddmin over the comma-separated items) while the failure persists.
+2. **Budget minimization** -- binary-search the smallest ``max_events``
+   that still reaches the failure.  Below the minimum the run dies
+   with ``EventLimitExceeded`` instead, so the search converges on the
+   exact number of events the reproducer needs.
+3. **Emission** -- render a ready-to-paste pytest case asserting the
+   cell now passes (the form regression tests take once the bug is
+   fixed), with the generating parameters in the docstring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.check.runner import CheckOutcome, check_run
+
+__all__ = ["ShrinkResult", "shrink", "reproducer_source"]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing cell plus the evidence trail."""
+
+    cell: dict
+    error_type: str
+    error: str
+    runs: int = 0
+    #: (description, cell, error_type) per shrink step, for the report.
+    trail: list = field(default_factory=list)
+
+
+def _fails_like(outcome: CheckOutcome, error_type: str) -> bool:
+    return (not outcome.ok) and outcome.error_type == error_type
+
+
+def shrink(cell: dict,
+           runner: Callable[..., CheckOutcome] = check_run,
+           max_runs: int = 64) -> ShrinkResult:
+    """Minimize ``cell``; raises ``ValueError`` if it does not fail."""
+    cell = dict(cell)
+    baseline = runner(**cell)
+    if baseline.ok:
+        raise ValueError(f"cell does not fail: {cell!r}")
+    target = baseline.error_type
+    result = ShrinkResult(cell=cell, error_type=target,
+                          error=baseline.error or "", runs=1)
+    result.trail.append(("baseline", dict(cell), target))
+
+    # 1. Drop fault-spec clauses one at a time (greedy ddmin).
+    spec = cell.get("fault_spec")
+    if spec:
+        items = [s for s in spec.split(",") if s.strip()]
+        keep = list(items)
+        i = 0
+        while i < len(keep) and result.runs < max_runs:
+            trial = keep[:i] + keep[i + 1:]
+            trial_cell = dict(cell)
+            if trial:
+                trial_cell["fault_spec"] = ",".join(trial)
+            else:
+                trial_cell.pop("fault_spec", None)
+                trial_cell.pop("fault_seed", None)
+            out = runner(**trial_cell)
+            result.runs += 1
+            if _fails_like(out, target):
+                keep = trial
+                cell = trial_cell
+                result.error = out.error or result.error
+                result.trail.append((f"dropped fault clause {items[i]!r}",
+                                     dict(cell), target))
+            else:
+                i += 1
+
+    # 2. Binary-search the minimal event budget.  The failing run's
+    # events_processed bounds the search from above; below the minimum
+    # the run degenerates to EventLimitExceeded (a different type).
+    probe = runner(**cell)
+    result.runs += 1
+    if _fails_like(probe, target) and probe.engine_events > 0 \
+            and target != "EventLimitExceeded":
+        lo, hi = 1, max(probe.engine_events + 1, 2)
+        while lo < hi and result.runs < max_runs:
+            mid = (lo + hi) // 2
+            out = runner(**{**cell, "max_events": mid})
+            result.runs += 1
+            if _fails_like(out, target):
+                hi = mid
+                result.error = out.error or result.error
+            else:
+                lo = mid + 1
+        cell = {**cell, "max_events": lo}
+        result.trail.append((f"minimal max_events={lo}", dict(cell), target))
+
+    result.cell = cell
+    return result
+
+
+def _cell_literal(cell: dict) -> str:
+    parts = [f"{k}={v!r}" for k, v in sorted(cell.items())]
+    return ",\n        ".join(parts)
+
+
+def reproducer_source(cell: dict, error_type: str, error: str,
+                      test_name: str,
+                      note: Optional[str] = None) -> str:
+    """Render the shrunk cell as a pytest regression case.
+
+    The emitted test asserts the cell *passes* -- paste it under
+    ``tests/check/regressions/`` once the underlying bug is fixed, and
+    it pins the fix forever.  The docstring records the generating
+    parameters so the failure predates the fix in the history.
+    """
+    doc = [f"Shrunk reproducer: {error_type} under schedule exploration."]
+    if note:
+        doc.append(note)
+    doc.append(f"Generating cell: {cell!r}")
+    doc.append(f"Failure before fix: {error_type}: {error}")
+    docstring = "\n\n    ".join(doc)
+    return f'''def test_{test_name}():
+    """{docstring}
+    """
+    out = check_run(
+        {_cell_literal(cell)},
+    )
+    assert out.ok, f"{{out.error_type}}: {{out.error}}"
+'''

@@ -37,6 +37,15 @@ class ProtocolError(ReproError):
     """A load-balancing protocol violated one of its invariants."""
 
 
+class InvariantViolation(ProtocolError):
+    """An online invariant check (``repro.check``) failed mid-run.
+
+    Subclasses :class:`ProtocolError` because a violation *is* a
+    protocol bug; the separate type lets the schedule fuzzer tell its
+    own checks apart from the protocols' built-in assertions.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid experiment, machine, or tree configuration."""
 

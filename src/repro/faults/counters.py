@@ -55,6 +55,13 @@ class FaultCounters:
     invariant_checks: int = 0
     #: Node descriptors lost to fail-stop faults (stack + in-flight).
     lost_nodes: int = 0
+    #: ... of which were on the dead rank's own stack at the kill.
+    lost_nodes_on_stack: int = 0
+    #: ... of which were mid-steal (open transfer or unfetched grant).
+    #: Attribution is exact: every lost descriptor lands in exactly one
+    #: of the two buckets, so ``lost_nodes == on_stack + in_flight``
+    #: always (asserted by the in-run conservation checker).
+    lost_nodes_in_flight: int = 0
     #: Total subtree size under the lost descriptors: the exact gap
     #: between the parallel count and the sequential oracle.
     lost_work: int = 0

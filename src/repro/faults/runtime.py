@@ -75,9 +75,15 @@ class FaultRuntime:
         self.dead: set[int] = set()
         self.last_beat = [0.0] * n
         self._suspicion_seen: set[int] = set()
-        # Loss accounting.
+        # Loss accounting.  Every lost descriptor is attributed to
+        # exactly one bucket -- on-stack (cleared from the corpse's
+        # SplitStack, so subtracted from the conservation ledger) or
+        # in-flight (already counted out of the stacks via
+        # stolen_from_me, so *not* subtracted again).  The split is
+        # asserted in check_conservation().
         self.lost_descriptors: List[Any] = []
         self._lost_stack_nodes = 0
+        self._lost_in_flight_nodes = 0
         # Open work transfers: rank -> nodes it popped from a victim's
         # shared region but has not yet handed over (at most one per
         # rank: the transfer lives in that rank's generator frame).
@@ -185,6 +191,14 @@ class FaultRuntime:
 
     def begin_transfer(self, rank: int, nodes: List[Any]) -> None:
         """``rank`` holds ``nodes`` mid-transfer in its generator frame."""
+        if rank in self._open_transfer:
+            # At most one transfer can live in a rank's frame; a second
+            # journal entry would orphan the first one's nodes (they
+            # would be lost without ever being accounted).
+            raise ProtocolError(
+                f"T{rank} opened a second transfer while "
+                f"{len(self._open_transfer[rank])} node(s) from its "
+                f"first are still journalled")
         self._open_transfer[rank] = nodes
 
     def end_transfer(self, rank: int) -> None:
@@ -192,6 +206,11 @@ class FaultRuntime:
 
     def register_response(self, thief: int, nodes: List[Any]) -> None:
         """Work granted to ``thief`` but not yet pushed on its stack."""
+        if thief in self._responses:
+            raise ProtocolError(
+                f"T{thief} granted a second steal response while "
+                f"{len(self._responses[thief])} node(s) from its first "
+                f"are still journalled")
         self._responses[thief] = nodes
 
     def clear_response(self, thief: int) -> None:
@@ -200,11 +219,23 @@ class FaultRuntime:
     # -- loss accounting ---------------------------------------------------
 
     def account_lost(self, nodes: List[Any], on_stack: bool = False) -> None:
-        """Record node descriptors destroyed by a fail-stop fault."""
+        """Record node descriptors destroyed by a fail-stop fault.
+
+        ``on_stack=True`` means the nodes were cleared from the dead
+        rank's own stack (they still count in the conservation ledger's
+        stack totals, so the ledger subtracts them); ``False`` means
+        they died mid-steal (already excluded from the stacks via
+        ``stolen_from_me_nodes``, so subtracting them again would
+        double-count the loss).
+        """
         self.lost_descriptors.extend(nodes)
         self.counters.lost_nodes += len(nodes)
         if on_stack:
             self._lost_stack_nodes += len(nodes)
+            self.counters.lost_nodes_on_stack += len(nodes)
+        else:
+            self._lost_in_flight_nodes += len(nodes)
+            self.counters.lost_nodes_in_flight += len(nodes)
         self._trace(-1, "fault.lost", f"nodes={len(nodes)}")
 
     def on_thread_death(self, rank: int) -> None:
@@ -267,6 +298,12 @@ class FaultRuntime:
             raise ProtocolError(
                 f"in_flight_nodes went negative "
                 f"({algo.in_flight_nodes}) at t={self.machine.sim.now:.6f}")
+        lost = self.counters.lost_nodes
+        if lost != self._lost_stack_nodes + self._lost_in_flight_nodes:
+            raise ProtocolError(
+                f"loss attribution violated at t={self.machine.sim.now:.6f}: "
+                f"{lost} lost node(s) but on_stack={self._lost_stack_nodes} "
+                f"+ in_flight={self._lost_in_flight_nodes}")
         self.counters.invariant_checks += 1
 
     def lost_work_total(self, tree) -> int:

@@ -64,6 +64,7 @@ def run_experiment(
     tracer: Optional[Tracer] = None,
     max_events: int = 50_000_000,
     faults: Optional[FaultPlan] = None,
+    tie_break=None,
 ) -> RunResult:
     """Run one parallel UTS search on the simulated machine.
 
@@ -98,6 +99,10 @@ def run_experiment(
         faults (overrides ``config.faults`` when given).  The run then
         activates the recovery protocols, watchdogs, and the
         node-conservation checker.
+    tie_break:
+        Optional schedule-exploration policy (see :mod:`repro.check`),
+        forwarded to the :class:`~repro.sim.engine.Simulator`.  ``None``
+        keeps the canonical bit-identical FIFO schedule.
 
     Returns
     -------
@@ -124,7 +129,7 @@ def run_experiment(
     if faults is not None:
         cfg = _dc_replace(cfg, faults=faults)
     machine = Machine(threads=threads, net=network, seed=seed, tracer=tracer,
-                      max_events=max_events)
+                      max_events=max_events, tie_break=tie_break)
     fault_rt: Optional[FaultRuntime] = None
     if cfg.faults is not None:
         # Installed before the algorithm is constructed so every hook
@@ -133,6 +138,12 @@ def run_experiment(
         machine.faults = fault_rt
     algo_cls = get_algorithm(algorithm)
     algo = algo_cls(machine, tree_obj, cfg)
+    # Online-checker hook (repro.check): a tracer that wants white-box
+    # access to the algorithm's ledgers binds here, after construction
+    # and before the first event runs.
+    attach = getattr(tracer, "attach_algorithm", None)
+    if attach is not None:
+        attach(algo)
 
     host_t0 = time.perf_counter()
     if fault_rt is not None:

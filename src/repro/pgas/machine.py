@@ -36,13 +36,14 @@ class Machine:
 
     def __init__(self, threads: int, net: NetworkModel, seed: int = 0,
                  tracer: Optional[Tracer] = None,
-                 max_events: int = 50_000_000) -> None:
+                 max_events: int = 50_000_000,
+                 tie_break: Optional[Callable[[int], Any]] = None) -> None:
         if threads < 1:
             raise ConfigError(f"threads must be >= 1, got {threads}")
         self.n_threads = threads
         self.net = net
         self.seed = seed
-        self.sim = Simulator(max_events=max_events)
+        self.sim = Simulator(max_events=max_events, tie_break=tie_break)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # Engine-level hook: lets Simulator.interrupt record fail-stops
         # into the same trace stream (no-op when tracing is off).

@@ -110,8 +110,10 @@ class SimEvent:
             # closure + cells per delayed fire).
             sim = self.sim
             sim._seq += 1
+            tb = sim.tie_break
+            key = sim._seq if tb is None else tb(sim._seq)
             heapq.heappush(sim._heap,
-                           (sim.now + delay, sim._seq, None,
+                           (sim.now + delay, key, None,
                             (self, value, stagger)))
 
     def _fire(self, value: Any, stagger: float) -> None:
@@ -175,13 +177,23 @@ class Process:
 class Simulator:
     """The discrete-event engine: clock, heap, and process bookkeeping."""
 
-    def __init__(self, max_events: int = 50_000_000) -> None:
+    def __init__(self, max_events: int = 50_000_000,
+                 tie_break: Optional[Callable[[int], Any]] = None) -> None:
         self.now: float = 0.0
         self.max_events = max_events
         self.events_processed = 0
-        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._heap: list[tuple[float, Any, Process, Any]] = []
         self._seq = 0
         self._live_processes = 0
+        #: Optional schedule-exploration hook (``repro.check``): maps the
+        #: monotone sequence number of each scheduled event to the heap
+        #: sort key used to tie-break simultaneous events.  ``None`` (the
+        #: default) keeps the FIFO ``_seq`` order and the inlined hot
+        #: loops bit-identical; a policy routes execution through the
+        #: generic :meth:`_run_policy` loop instead.  A policy MUST be
+        #: injective (include ``seq`` in the key) and return mutually
+        #: comparable keys, or heap ordering breaks.
+        self.tie_break = tie_break
         #: Optional :class:`repro.sim.trace.Tracer` for engine-level
         #: events (interrupts).  Set by the owning machine when tracing
         #: is enabled; None costs one attribute test on those paths and
@@ -194,14 +206,18 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, proc, value))
+        tb = self.tie_break
+        key = self._seq if tb is None else tb(self._seq)
+        heapq.heappush(self._heap, (self.now + delay, key, proc, value))
 
     def _call_at(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule a bare callback (used for delayed event firing)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn))
+        tb = self.tie_break
+        key = self._seq if tb is None else tb(self._seq)
+        heapq.heappush(self._heap, (self.now + delay, key, None, fn))
 
     def spawn(self, body: ProcessBody, name: str = "", delay: float = 0.0) -> Process:
         """Register a generator as a process, starting after ``delay``."""
@@ -279,6 +295,11 @@ class Simulator:
         check entirely.  The schedule it executes is bit-identical to
         the naive loop's.
         """
+        if self.tie_break is not None:
+            # Schedule exploration: the inlined loops below assume FIFO
+            # seq keys (they mint keys inline); a policy run takes the
+            # generic loop so every push goes through the policy.
+            return self._run_policy(until)
         if until is not None:
             return self._run_until(until)
         heap = self._heap
@@ -365,6 +386,53 @@ class Simulator:
                 time = item[0]
                 if time > until:
                     # Not consumed: push back (same tuple, same seq) so
+                    # a later run() continues cleanly.
+                    push(heap, item)
+                    self.now = until
+                    return self.now
+                proc = item[2]
+                if proc is not None and not proc.alive:
+                    continue  # stale resumption, never counted
+                self.now = time
+                if n >= limit:
+                    raise self._limit_error()
+                n += 1
+                if proc is None:
+                    value = item[3]
+                    if value.__class__ is tuple:
+                        ev, val, stagger = value
+                        ev._fire(val, stagger)
+                    else:
+                        value()
+                    continue
+                was_alive = proc.alive
+                proc._step(item[3])
+                if was_alive and not proc.alive:
+                    self._live_processes -= 1
+        finally:
+            self.events_processed = n
+        return self.now
+
+    def _run_policy(self, until: Optional[float]) -> float:
+        """Generic loop used when a ``tie_break`` policy is installed.
+
+        Semantically identical to :meth:`run` / :meth:`_run_until`
+        except that every event scheduled from inside the loop goes
+        through :meth:`_schedule` (and thus the policy) instead of the
+        inlined FIFO pushes.  With the identity policy ``lambda s: s``
+        this executes the exact canonical schedule.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        n = self.events_processed
+        limit = self.max_events
+        try:
+            while heap:
+                item = pop(heap)
+                time = item[0]
+                if until is not None and time > until:
+                    # Not consumed: push back (same tuple, same key) so
                     # a later run() continues cleanly.
                     push(heap, item)
                     self.now = until

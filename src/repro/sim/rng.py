@@ -20,13 +20,36 @@ def substream_seed(root_seed: int, *names: object) -> int:
 
 
 class StreamRng:
-    """A named, seeded random stream (thin wrapper over ``random.Random``)."""
+    """A named, seeded random stream (thin wrapper over ``random.Random``).
 
-    __slots__ = ("name", "_rng")
+    The root seed and name path are retained so consumers can
+    *re-derive* streams instead of reusing advanced generator state:
+    constructing ``StreamRng(root, *names)`` twice yields the same
+    sequence from the start, and :meth:`derive` extends the name path
+    to mint an independent child stream.  A component that restarts
+    (e.g. a recovery path re-creating its victim-order policy) must
+    derive a fresh incarnation substream -- resuming the old ``_rng``
+    object would make the replay depend on how far the previous
+    incarnation had advanced it.
+    """
+
+    __slots__ = ("name", "root_seed", "_names", "_rng")
 
     def __init__(self, root_seed: int, *names: object) -> None:
         self.name = ":".join(str(n) for n in names)
+        self.root_seed = root_seed
+        self._names = names
         self._rng = random.Random(substream_seed(root_seed, *names))
+
+    def derive(self, *names: object) -> "StreamRng":
+        """An independent child stream at ``<self.name>:<names...>``.
+
+        Derivation depends only on the root seed and the name path --
+        never on this stream's current position -- so a re-created
+        component gets a reproducible stream no matter how many draws
+        its predecessor made.
+        """
+        return StreamRng(self.root_seed, *self._names, *names)
 
     def shuffled(self, items: list) -> list:
         out = list(items)

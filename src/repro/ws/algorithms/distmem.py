@@ -163,15 +163,24 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         # Wait for the victim's response -- spinning on our own response
         # variable, a local read, so no cost beyond the elapsed time.
         if rt is None:
+            # Blocking bare is safe fault-free even though requests DO
+            # land on blocked thieves (the probe->poke window spans
+            # several latencies, so a request aimed at us while we
+            # still had work can arrive after we blocked here).  No
+            # *cycle* of such waits can form: each edge i->j needs
+            # i's probe of j to precede j's NO_WORK poke, and every
+            # probe follows the prober's own NO_WORK poke, so a cycle
+            # would need poke(i) < poke(j) for every edge around it --
+            # a contradiction.  The parked request is denied at our
+            # next poll point once the victim answers us.
             chunks = yield ev
         else:
-            # Under fault injection a stale probe can send two thieves
-            # after *each other* at once: both would block here on the
-            # other's response while their own request slots sit
-            # unserviced -- a mutual deadlock that cannot arise
-            # fault-free, because a requester's own work_avail is a
-            # fresh NO_WORK and nobody requests a requester.  Keep
-            # denying our own slot while we wait.
+            # Under fault injection that ordering argument breaks: a
+            # stale work_avail window lets thief i probe j *before*
+            # i's own NO_WORK poke becomes visible, so two thieves can
+            # end up requesting each other and blocking on each
+            # other's response -- a mutual deadlock.  Keep denying our
+            # own slot while we wait.
             while not (ev.fired or ev.scheduled):
                 yield from self.service_request(ctx)
                 if ev.fired or ev.scheduled:

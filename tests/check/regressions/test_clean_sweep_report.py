@@ -1,0 +1,27 @@
+"""Pin the committed clean-sweep evidence (see README.md here).
+
+The report is an artifact of the acceptance sweep that introduced the
+schedule harness; this test keeps the committed copy honest -- if the
+file is edited, regenerated with failures, or shrunk below the sweep
+it claims to be, the suite says so.
+"""
+
+import json
+from pathlib import Path
+
+REPORT = Path(__file__).with_name("CHECK_report_clean.json")
+
+
+def test_committed_sweep_is_clean_and_complete():
+    report = json.loads(REPORT.read_text())
+    assert report["totals"]["failed"] == 0
+    assert report["failures"] == [] and report["shrunk"] == []
+    assert report["totals"]["cells"] >= 555
+    assert set(report["meta"]["variants"]) == {
+        "upc-sharedmem", "upc-term", "upc-term-rapdif",
+        "upc-distmem", "upc-distmem-hier", "mpi-ws"}
+    by_mode = report["totals"]["by_mode"]
+    assert by_mode["canonical"]["cells"] == 6
+    assert by_mode["random"]["cells"] >= 300   # 50 seeds x 6 variants
+    assert by_mode["delay"]["cells"] >= 240    # ~40 deferrals x 6 variants
+    assert all(m["failed"] == 0 for m in by_mode.values())

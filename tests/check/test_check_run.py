@@ -1,0 +1,51 @@
+"""check_run: one fuzz cell as a pure function."""
+
+import pytest
+
+from repro.check import CheckOutcome, VARIANTS, check_run
+
+
+def test_canonical_cell_matches_determinism_pins():
+    """The fuzzer's base cell is exactly the pinned reference run
+    (tests/obs/test_determinism.py), so a drifted pin and a drifted
+    fuzzer base can never disagree silently."""
+    out = check_run("upc-distmem")
+    assert out.ok
+    assert out.engine_events == 656
+    assert out.total_nodes == 3009
+    assert out.monitor["terminations_seen"] >= 1
+    assert out.monitor["checks"] > 0
+
+
+def test_schedule_seed_and_defer_are_mutually_exclusive():
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        check_run("upc-distmem", schedule_seed=1, defer=(5,))
+
+
+def test_cells_are_replayable():
+    first = check_run("upc-sharedmem", schedule_seed=11, b0=32, q=0.45)
+    again = check_run("upc-sharedmem", schedule_seed=11, b0=32, q=0.45)
+    assert first.ok and again.ok
+    assert (again.engine_events, again.total_nodes, again.sim_time) \
+        == (first.engine_events, first.total_nodes, first.sim_time)
+    assert again.monitor == first.monitor
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_every_variant_passes_a_permuted_schedule(variant):
+    out = check_run(variant, schedule_seed=0, b0=32, q=0.45)
+    assert out.ok, out.label()
+
+
+def test_faulted_cell_passes_with_exact_loss_accounting():
+    out = check_run("upc-distmem", fault_spec="kill=3@103us")
+    assert out.ok, out.label()
+    assert out.lost_work > 0  # the kill really landed
+
+
+def test_event_budget_exhaustion_is_an_outcome_not_a_crash():
+    out = check_run("upc-distmem", max_events=50)
+    assert not out.ok
+    assert out.error_type == "EventLimitExceeded"
+    assert out.engine_events == 50
+    assert isinstance(out, CheckOutcome) and "50" in out.label()

@@ -1,0 +1,92 @@
+"""The shrinker, exercised against a synthetic failure oracle.
+
+Shrinking real protocol bugs is slow and (this tree being clean) not
+reproducible on demand, so these tests drive :func:`repro.check.shrink`
+with a fake ``check_run`` whose failure condition is known exactly --
+the shrinker must recover precisely the failure's minimal support.
+"""
+
+import pytest
+
+from repro.check import CheckOutcome, reproducer_source, shrink
+
+
+def _oracle(min_events=37, needed_clause="stall=0.5"):
+    """A fake check_run: fails iff the fault spec contains
+    ``needed_clause`` and the budget allows >= ``min_events`` events."""
+    calls = []
+
+    def fake_check_run(variant, **cell):
+        calls.append(dict(cell, variant=variant))
+        spec = cell.get("fault_spec", "") or ""
+        budget = cell.get("max_events", 500_000)
+        if needed_clause in spec.split(","):
+            if budget >= min_events:
+                return CheckOutcome(
+                    ok=False, variant=variant,
+                    error_type="InvariantViolation",
+                    error="synthetic ledger break",
+                    engine_events=min(budget, 200))
+            return CheckOutcome(
+                ok=False, variant=variant,
+                error_type="EventLimitExceeded",
+                error=f"exceeded {budget}", engine_events=budget)
+        return CheckOutcome(ok=True, variant=variant, engine_events=123)
+
+    return fake_check_run, calls
+
+
+def test_shrink_finds_minimal_clause_and_budget():
+    runner, _ = _oracle()
+    cell = {"variant": "upc-distmem",
+            "fault_spec": "drop=0.1,stall=0.5,kill=3@50us",
+            "fault_seed": 4, "schedule_seed": 9}
+    result = shrink(cell, runner=runner)
+    assert result.cell["fault_spec"] == "stall=0.5"
+    assert result.cell["max_events"] == 37
+    assert result.error_type == "InvariantViolation"
+    assert result.runs > 1
+    assert any("dropped fault clause" in step for step, _, _ in result.trail)
+
+
+def test_shrink_drops_fault_machinery_when_spec_empties():
+    """If the failure needs no fault at all, the spec and its seed are
+    shrunk away entirely."""
+
+    def always_fails(variant, **cell):
+        return CheckOutcome(ok=False, variant=variant,
+                            error_type="DeadlockError", error="stuck",
+                            engine_events=50)
+
+    cell = {"variant": "mpi-ws", "fault_spec": "drop=0.2", "fault_seed": 1}
+    result = shrink(cell, runner=always_fails)
+    assert "fault_spec" not in result.cell
+    assert "fault_seed" not in result.cell
+
+
+def test_shrink_rejects_passing_cell():
+    runner, _ = _oracle()
+    with pytest.raises(ValueError, match="does not fail"):
+        shrink({"variant": "upc-distmem"}, runner=runner)
+
+
+def test_shrink_preserves_error_class():
+    """Budget search must not wander into EventLimitExceeded territory:
+    the minimized cell still fails with the original class."""
+    runner, _ = _oracle(min_events=37)
+    result = shrink({"variant": "upc-distmem", "fault_spec": "stall=0.5"},
+                    runner=runner)
+    out = runner("upc-distmem",
+                 **{k: v for k, v in result.cell.items() if k != "variant"})
+    assert out.error_type == "InvariantViolation"
+
+
+def test_reproducer_source_is_valid_pytest():
+    src = reproducer_source(
+        {"variant": "upc-distmem", "schedule_seed": 3},
+        "InvariantViolation", "ledger broke", "example",
+        note="Minimal event budget to reach the failure: 37.")
+    assert "def test_example():" in src
+    assert "schedule_seed=3" in src
+    assert "InvariantViolation" in src and "37" in src
+    compile(src, "<reproducer>", "exec")  # syntactically valid

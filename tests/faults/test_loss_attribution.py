@@ -1,0 +1,98 @@
+"""Exact attribution of fail-stop losses: on-stack vs in-flight.
+
+A node destroyed by a kill is accounted in exactly one bucket:
+
+* ``lost_nodes_on_stack`` -- it sat on the corpse's own SplitStack
+  (cleared at death; the conservation ledger subtracts these), or
+* ``lost_nodes_in_flight`` -- it died mid-steal, journalled in an open
+  transfer or an unfetched grant (already excluded from the stacks via
+  ``stolen_from_me_nodes``; subtracting again would double-count).
+
+``lost_nodes == on_stack + in_flight`` is asserted by the in-run
+checker at every period; these tests pin the attribution on real kill
+cells for each shape of death, plus the journal double-entry guards.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.faults.plan import parse_fault_spec
+from repro.faults.runtime import FaultRuntime
+from repro.harness.runner import run_experiment
+from repro.net.presets import get_preset
+from repro.pgas.machine import Machine
+from repro.uts.params import TreeParams
+
+
+def _killed_run(variant, spec):
+    plan = parse_fault_spec(spec, seed=0)
+    return run_experiment(
+        variant, tree=TreeParams.binomial(b0=64, m=2, q=0.48, seed=1),
+        threads=8, preset="kittyhawk", chunk_size=4, verify=True,
+        faults=plan)
+
+
+def test_attribution_sums_exactly():
+    """Both buckets fire on this cell, and they partition the loss."""
+    res = _killed_run("upc-distmem", "kill=3@103us")
+    fc = res.fault_counters
+    assert fc.lost_nodes_on_stack > 0
+    assert fc.lost_nodes_in_flight > 0
+    assert fc.lost_nodes == fc.lost_nodes_on_stack + fc.lost_nodes_in_flight
+    assert res.lost_work > 0  # verify=True already proved exactness
+
+
+def test_death_mid_transaction_is_pure_in_flight_loss():
+    """This kill lands while the rank's only work is mid-steal: the
+    dead rank's stack is empty, so every lost node must be attributed
+    to the in-flight bucket -- never both, never neither."""
+    res = _killed_run("upc-distmem", "kill=5@61us")
+    fc = res.fault_counters
+    assert fc.lost_nodes > 0
+    assert fc.lost_nodes_on_stack == 0
+    assert fc.lost_nodes == fc.lost_nodes_in_flight
+
+
+@pytest.mark.parametrize("variant,spec", [
+    ("upc-distmem", "kill=3@103us,kill=5@120us"),
+    ("upc-distmem-hier", "kill=3@47us"),
+    ("mpi-ws", "kill=3@100us,drop=0.1"),
+])
+def test_attribution_partitions_on_every_variant(variant, spec):
+    res = _killed_run(variant, spec)
+    fc = res.fault_counters
+    assert fc.lost_nodes == fc.lost_nodes_on_stack + fc.lost_nodes_in_flight
+
+
+def test_fault_free_counters_stay_zero():
+    res = _killed_run("upc-distmem", "stall=0.3")
+    fc = res.fault_counters
+    assert (fc.lost_nodes, fc.lost_nodes_on_stack,
+            fc.lost_nodes_in_flight) == (0, 0, 0)
+
+
+# -- journal double-entry guards ----------------------------------------------
+
+
+def _bare_runtime():
+    machine = Machine(threads=2, net=get_preset("kittyhawk"), seed=0)
+    plan = parse_fault_spec("kill=1@1ms", seed=0)
+    return FaultRuntime(plan, machine)
+
+
+def test_second_open_transfer_is_rejected():
+    rt = _bare_runtime()
+    rt.begin_transfer(0, ["n1", "n2"])
+    with pytest.raises(ProtocolError, match="second transfer"):
+        rt.begin_transfer(0, ["n3"])
+    rt.end_transfer(0)
+    rt.begin_transfer(0, ["n3"])  # closed first: fine
+
+
+def test_second_unfetched_response_is_rejected():
+    rt = _bare_runtime()
+    rt.register_response(1, ["n1"])
+    with pytest.raises(ProtocolError, match="second steal response"):
+        rt.register_response(1, ["n2"])
+    rt.clear_response(1)
+    rt.register_response(1, ["n2"])

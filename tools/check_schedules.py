@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Schedule-space fuzzer: variants x schedule seeds x fault plans.
+
+Every cell runs one invariant-checked simulation
+(:func:`repro.check.check_run`) under a non-canonical schedule:
+
+* **random mode** -- seeded permutations of every same-timestamp event
+  batch (``--seeds N`` sweeps schedule seeds ``0..N-1``);
+* **delay-bounded mode** -- systematic single-event deferrals from the
+  canonical schedule (``--delay-budget K`` spreads K deferral points
+  over the run), the bounded neighbourhood CI explores.
+
+Fault plans (``--fault-specs``) multiply the matrix; fault-free cells
+must pass *all* invariants for the sweep to succeed.  On failure the
+cell is shrunk (:mod:`repro.check.shrink`) to a minimal reproducer and
+emitted as a ready-to-paste pytest case (``--emit-tests DIR``).
+
+Writes a JSON report for the CI artifact; exits non-zero if any cell
+failed.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_schedules.py --variants all \
+        --seeds 50 --delay-budget 40 --out CHECK_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.check import (VARIANTS, check_run, reproducer_source,  # noqa: E402
+                         shrink)
+
+#: Base cell every sweep point starts from (small tree: a full sweep
+#: must fit in a CI minute; see docs/correctness.md for deep budgets).
+BASE_CELL = {
+    "threads": 8,
+    "chunk_size": 4,
+    "preset": "kittyhawk",
+    "b0": 64,
+    "q": 0.48,
+    "m": 2,
+    "tree_seed": 1,
+    "max_events": 500_000,
+}
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def run_cell(cell: dict) -> dict:
+    t0 = time.perf_counter()
+    out = check_run(**cell)
+    return {
+        "cell": cell,
+        "ok": out.ok,
+        "error_type": out.error_type,
+        "error": out.error,
+        "engine_events": out.engine_events,
+        "total_nodes": out.total_nodes,
+        "host_seconds": round(time.perf_counter() - t0, 4),
+        "monitor": out.monitor,
+    }
+
+
+def sweep(variants, seeds, delay_budget, fault_specs, fault_seeds,
+          base_cell, progress=True):
+    """Yield one result dict per cell, canonical cells first."""
+    specs = [None] + list(fault_specs)
+    for variant in variants:
+        # Canonical schedule first: it anchors the delay-bounded mode
+        # (deferral points are spread over its event count) and proves
+        # the monitor passes the pinned schedule.
+        canonical = run_cell({**base_cell, "variant": variant})
+        yield {**canonical, "mode": "canonical"}
+        n_events = max(canonical["engine_events"], 1)
+        for spec in specs:
+            f_seeds = fault_seeds if spec else [0]
+            for fseed in f_seeds:
+                extra = {}
+                if spec:
+                    extra = {"fault_spec": spec, "fault_seed": fseed}
+                for s in range(seeds):
+                    yield {**run_cell({**base_cell, "variant": variant,
+                                       "schedule_seed": s, **extra}),
+                           "mode": "random"}
+                if delay_budget > 0:
+                    # Deferral points spread over the scheduled-seq
+                    # space (seqs run ~1.2x the dispatched events:
+                    # stale wake-ups are scheduled but skipped).
+                    hi = int(n_events * 1.2) + 1
+                    stride = max(1, hi // delay_budget)
+                    for pos in range(1, hi, stride):
+                        yield {**run_cell({**base_cell, "variant": variant,
+                                           "defer": (pos,), **extra}),
+                               "mode": "delay"}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--variants", nargs="+", default=["all"],
+                    help="algorithm labels, or 'all' (default)")
+    ap.add_argument("--seeds", type=int, default=20,
+                    help="random schedule seeds per (variant, fault) cell")
+    ap.add_argument("--delay-budget", type=int, default=0,
+                    help="systematic single-deferral points per cell "
+                         "(0 = skip delay-bounded mode)")
+    ap.add_argument("--fault-specs", nargs="*", default=[],
+                    help="fault plans to multiply in (parse_fault_spec "
+                         "grammar); fault-free cells always run")
+    ap.add_argument("--fault-seeds", nargs="*", type=int, default=[0],
+                    help="fault seeds per fault spec")
+    ap.add_argument("--threads", type=int, default=BASE_CELL["threads"])
+    ap.add_argument("--chunk-size", type=int, default=BASE_CELL["chunk_size"])
+    ap.add_argument("--b0", type=int, default=BASE_CELL["b0"])
+    ap.add_argument("--q", type=float, default=BASE_CELL["q"])
+    ap.add_argument("--tree-seed", type=int, default=BASE_CELL["tree_seed"])
+    ap.add_argument("--max-events", type=int, default=BASE_CELL["max_events"])
+    ap.add_argument("--out", default="CHECK_report.json")
+    ap.add_argument("--emit-tests", metavar="DIR", default=None,
+                    help="write shrunk reproducer pytest files here")
+    ap.add_argument("--no-shrink", action="store_true",
+                    help="report failures without minimizing them")
+    args = ap.parse_args(argv)
+
+    variants = (list(VARIANTS) if args.variants == ["all"]
+                else args.variants)
+    base_cell = dict(BASE_CELL, threads=args.threads,
+                     chunk_size=args.chunk_size, b0=args.b0, q=args.q,
+                     tree_seed=args.tree_seed, max_events=args.max_events)
+
+    t0 = time.perf_counter()
+    results, failures = [], []
+    for res in sweep(variants, args.seeds, args.delay_budget,
+                     args.fault_specs, args.fault_seeds, base_cell):
+        results.append(res)
+        if not res["ok"]:
+            failures.append(res)
+            cell = res["cell"]
+            print(f"FAIL {cell['variant']} [{res['mode']}] "
+                  f"{_cell_key(cell)}: {res['error_type']}: "
+                  f"{res['error']}", flush=True)
+
+    shrunk = []
+    for res in failures:
+        if args.no_shrink:
+            continue
+        try:
+            sr = shrink(res["cell"])
+        except ValueError:
+            # Flaky under host conditions -- should not happen (cells
+            # are deterministic); record and move on.
+            shrunk.append({"cell": res["cell"], "shrink": "did-not-refail"})
+            continue
+        name = _slug(f"{sr.cell['variant']}_{sr.error_type}_"
+                     f"{_cell_key(sr.cell)}")
+        # The emitted test asserts the cell passes (its post-fix form);
+        # drop the minimized budget so a fixed run can complete.
+        test_cell = {k: v for k, v in sr.cell.items() if k != "max_events"}
+        source = ("from repro.check import check_run\n\n\n"
+                  + reproducer_source(
+                      test_cell, sr.error_type, sr.error, name,
+                      note=f"Minimal event budget to reach the failure: "
+                           f"{sr.cell.get('max_events', 'n/a')}."))
+        entry = {
+            "cell": res["cell"],
+            "shrunk_cell": sr.cell,
+            "error_type": sr.error_type,
+            "error": sr.error,
+            "shrink_runs": sr.runs,
+            "reproducer": source,
+        }
+        shrunk.append(entry)
+        print(f"SHRUNK -> {sr.cell} ({sr.runs} runs)", flush=True)
+        if args.emit_tests:
+            os.makedirs(args.emit_tests, exist_ok=True)
+            path = os.path.join(args.emit_tests, f"test_{name}.py")
+            with open(path, "w") as fh:
+                fh.write(source)
+            print(f"  wrote {path}", flush=True)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "argv": sys.argv[1:],
+            "variants": variants,
+            "seeds": args.seeds,
+            "delay_budget": args.delay_budget,
+            "fault_specs": args.fault_specs,
+            "base_cell": base_cell,
+            "host_seconds": round(time.perf_counter() - t0, 2),
+        },
+        "totals": {
+            "cells": len(results),
+            "failed": len(failures),
+            "by_mode": _by_mode(results),
+        },
+        "failures": [
+            {k: r[k] for k in ("cell", "mode", "error_type", "error")}
+            for r in failures
+        ],
+        "shrunk": shrunk,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, default=repr)
+    ok = not failures
+    print(f"{len(results)} cell(s), {len(failures)} failure(s) "
+          f"in {report['meta']['host_seconds']}s -> {args.out}")
+    print("CLEAN SWEEP" if ok else "FAILURES FOUND")
+    return 0 if ok else 1
+
+
+def _cell_key(cell: dict) -> str:
+    bits = []
+    if cell.get("schedule_seed") is not None:
+        bits.append(f"sched={cell['schedule_seed']}")
+    if cell.get("defer"):
+        bits.append(f"defer={list(cell['defer'])}")
+    if cell.get("fault_spec"):
+        bits.append(f"faults={cell['fault_spec']}@{cell.get('fault_seed', 0)}")
+    return ",".join(bits) or "canonical"
+
+
+def _by_mode(results):
+    out = {}
+    for r in results:
+        mode = r["mode"]
+        m = out.setdefault(mode, {"cells": 0, "failed": 0})
+        m["cells"] += 1
+        m["failed"] += not r["ok"]
+    return out
+
+
+if __name__ == "__main__":
+    sys.exit(main())
