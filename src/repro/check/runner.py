@@ -67,6 +67,8 @@ def check_run(
     fault_seed: int = 0,
     max_events: int = 500_000,
     verify: bool = True,
+    idle_strategy: str = "poll",
+    queue: str = "auto",
 ) -> CheckOutcome:
     """Run one invariant-checked cell; never raises a protocol error.
 
@@ -75,6 +77,10 @@ def check_run(
     :class:`DelayTieBreak` bounded reordering; neither gives the
     canonical schedule.  ``fault_spec`` is the
     :func:`repro.faults.plan.parse_fault_spec` grammar.
+    ``idle_strategy`` ("poll" or "park") and ``queue`` ("auto", "heap",
+    "bucket") extend the cell space over the O(active) engine: park
+    cells fuzz the event-driven wakeup paths, and forcing a queue
+    backend cross-checks dispatch order against the default.
 
     Errors caught: every :class:`~repro.errors.ReproError` subclass --
     invariant violations, protocol assertions, deadlocks, event-budget
@@ -86,6 +92,7 @@ def check_run(
     from repro.faults.plan import parse_fault_spec
     from repro.harness.runner import run_experiment
     from repro.uts.params import TreeParams
+    from repro.ws.config import WsConfig
 
     if schedule_seed is not None and defer:
         raise ValueError("schedule_seed and defer are mutually exclusive")
@@ -97,12 +104,13 @@ def check_run(
     plan = parse_fault_spec(fault_spec, seed=fault_seed) if fault_spec else None
     monitor = InvariantMonitor()
     tree = TreeParams.binomial(b0=b0, m=m, q=q, seed=tree_seed)
+    cfg = WsConfig(chunk_size=chunk_size, idle_strategy=idle_strategy)
     try:
         res = run_experiment(
             variant, tree=tree, threads=threads, preset=preset,
-            chunk_size=chunk_size, seed=seed, verify=verify,
+            config=cfg, seed=seed, verify=verify,
             tracer=monitor, max_events=max_events, faults=plan,
-            tie_break=tie_break,
+            tie_break=tie_break, queue=queue,
         )
         monitor.final_check()
     except ReproError as exc:

@@ -47,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["sha1", "sha1-pure", "splitmix"])
     run_p.add_argument("--no-verify", action="store_true")
     run_p.add_argument(
+        "--idle-strategy", choices=["poll", "park"], default="poll",
+        help="'poll' (default, canonical bit-identical schedule) or "
+             "'park' (idle threads cost zero pending events -- the "
+             "O(active) engine; see docs/performance.md)")
+    run_p.add_argument(
+        "--queue", choices=["auto", "heap", "bucket"], default="auto",
+        help="event-queue backend; 'auto' picks the bucket queue at "
+             "512+ threads (identical dispatch order either way)")
+    run_p.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="deterministic fault injection, e.g. "
              "'drop=0.05,dup=0.02,delay=0.1' or 'kill=3@2ms,kill=5@4ms' "
@@ -148,9 +157,14 @@ def _run_single(args: argparse.Namespace) -> int:
         from repro.obs import TraceSink
 
         sink = TraceSink()
+    from repro.ws.config import WsConfig
+
+    config = WsConfig(chunk_size=args.chunk_size,
+                      idle_strategy=args.idle_strategy)
     res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
-                         preset=args.preset, chunk_size=args.chunk_size,
-                         verify=not args.no_verify, faults=plan, tracer=sink)
+                         preset=args.preset, config=config,
+                         verify=not args.no_verify, faults=plan, tracer=sink,
+                         queue=args.queue)
     print(res.summary())
     print(f"working-state share: {100 * res.working_fraction:.1f}%")
     if res.fault_counters is not None:

@@ -65,6 +65,7 @@ def run_experiment(
     max_events: int = 50_000_000,
     faults: Optional[FaultPlan] = None,
     tie_break=None,
+    queue: str = "auto",
 ) -> RunResult:
     """Run one parallel UTS search on the simulated machine.
 
@@ -103,6 +104,12 @@ def run_experiment(
         Optional schedule-exploration policy (see :mod:`repro.check`),
         forwarded to the :class:`~repro.sim.engine.Simulator`.  ``None``
         keeps the canonical bit-identical FIFO schedule.
+    queue:
+        Event-queue backend: ``"auto"`` (default) picks the bucket
+        queue past the :data:`~repro.pgas.machine.AUTO_QUEUE_KNEE`
+        thread count and the classic heap below it; ``"heap"`` /
+        ``"bucket"`` force a backend.  Dispatch order -- and therefore
+        every result -- is identical across backends.
 
     Returns
     -------
@@ -129,7 +136,7 @@ def run_experiment(
     if faults is not None:
         cfg = _dc_replace(cfg, faults=faults)
     machine = Machine(threads=threads, net=network, seed=seed, tracer=tracer,
-                      max_events=max_events, tie_break=tie_break)
+                      max_events=max_events, tie_break=tie_break, queue=queue)
     fault_rt: Optional[FaultRuntime] = None
     if cfg.faults is not None:
         # Installed before the algorithm is constructed so every hook

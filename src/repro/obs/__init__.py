@@ -37,6 +37,7 @@ Example (no simulation needed -- a sink accepts events directly):
 """
 
 from repro.obs.analysis import (
+    idle_summary,
     state_occupancy,
     steal_latencies,
     steal_latency_histogram,
@@ -65,5 +66,6 @@ __all__ = [
     "steal_latencies",
     "steal_latency_histogram",
     "termination_breakdown",
+    "idle_summary",
     "render_trace_report",
 ]

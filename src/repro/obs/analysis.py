@@ -31,6 +31,7 @@ __all__ = [
     "steal_latencies",
     "steal_latency_histogram",
     "termination_breakdown",
+    "idle_summary",
 ]
 
 #: Steal outcomes that close a ``steal.req`` transaction on the thief.
@@ -133,6 +134,39 @@ def steal_latency_histogram(events: List[ObsEvent]
         count = sum(1 for dt in latencies if lo <= dt * 1e6 < hi)
         buckets.append((lo, hi, count))
     return buckets
+
+
+def idle_summary(events: List[ObsEvent], n_threads: Optional[int] = None
+                 ) -> Dict[str, object]:
+    """Idle-gate activity under ``idle_strategy="park"``.
+
+    Pairs each rank's ``idle.park`` with its next ``idle.wake`` (a
+    thread has at most one park outstanding).  Returns per-rank
+    ``parks`` / ``wakes`` / ``parked_seconds`` lists plus
+    ``total_parks`` and ``total_parked_seconds``.  All zeros on a
+    polling run (the kinds are simply absent).
+    """
+    n_threads, _ = _infer_shape(events, n_threads, None)
+    parks = [0] * n_threads
+    wakes = [0] * n_threads
+    parked = [0.0] * n_threads
+    open_park: Dict[int, float] = {}
+    for ev in events:
+        if ev.kind == "idle.park" and 0 <= ev.rank < n_threads:
+            parks[ev.rank] += 1
+            open_park[ev.rank] = ev.time
+        elif ev.kind == "idle.wake" and 0 <= ev.rank < n_threads:
+            wakes[ev.rank] += 1
+            t0 = open_park.pop(ev.rank, None)
+            if t0 is not None:
+                parked[ev.rank] += ev.time - t0
+    return {
+        "parks": parks,
+        "wakes": wakes,
+        "parked_seconds": parked,
+        "total_parks": sum(parks),
+        "total_parked_seconds": sum(parked),
+    }
 
 
 def termination_breakdown(events: List[ObsEvent],

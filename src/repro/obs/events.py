@@ -59,6 +59,10 @@ EVENT_SCHEMA: Dict[str, str] = {
     # -- messaging (mpi-ws substrate) ---------------------------------
     "msg.send": "two-sided send posted; args: dst, tag",
     "msg.recv": "blocking receive completed; args: src, tag",
+    # -- idle gate (idle_strategy="park") ------------------------------
+    "idle.park": "thread parked on the idle gate (no surplus anywhere)",
+    "idle.wake": "parked thread woken (surplus batch, targeted wake, "
+                 "or termination wake_all)",
     # -- termination ---------------------------------------------------
     "sbarrier.enter": "streamlined barrier entered; args: count",
     "sbarrier.leave": "streamlined barrier left for a steal; args: count",

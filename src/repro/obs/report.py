@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.metrics.states import STATES
 from repro.obs.analysis import (
+    idle_summary,
     state_occupancy,
     steal_latencies,
     steal_latency_histogram,
@@ -131,6 +132,25 @@ def _termination_section(events: List[ObsEvent], n_threads: int,
     return lines + [""]
 
 
+def _idle_section(events: List[ObsEvent], n_threads: int) -> List[str]:
+    ids = idle_summary(events, n_threads)
+    if ids["total_parks"] == 0:
+        return []
+    lines = ["## Idle gate (park mode)", "",
+             f"{ids['total_parks']} park(s) across "
+             f"{sum(1 for p in ids['parks'] if p)} rank(s); "
+             f"{_fmt_us(ids['total_parked_seconds'])} µs of simulated "
+             "thread-time spent parked (costing zero pending events).",
+             "", "| rank | parks | wakes | parked µs |", "|---|---|---|---|"]
+    for rank in range(n_threads):
+        if ids["parks"][rank] == 0 and ids["wakes"][rank] == 0:
+            continue
+        lines.append(
+            f"| T{rank} | {ids['parks'][rank]} | {ids['wakes'][rank]} | "
+            f"{_fmt_us(ids['parked_seconds'][rank])} |")
+    return lines + [""]
+
+
 def _fault_section(events: List[ObsEvent]) -> List[str]:
     counts = Counter(e.kind for e in events
                      if e.kind.startswith(("fault.", "recover.")))
@@ -171,5 +191,6 @@ def render_trace_report(events: List[ObsEvent],
     lines += _matrix_section(events, n_threads)
     lines += _latency_section(events)
     lines += _termination_section(events, n_threads, sim_time)
+    lines += _idle_section(events, n_threads)
     lines += _fault_section(events)
     return "\n".join(lines)

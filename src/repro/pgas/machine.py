@@ -26,9 +26,19 @@ from repro.sim.engine import Process, SimEvent, Simulator, Timeout
 from repro.sim.rng import StreamRng
 from repro.sim.trace import NULL_TRACER, Tracer
 
-__all__ = ["Machine", "UpcContext"]
+__all__ = ["Machine", "UpcContext", "AUTO_QUEUE_KNEE"]
 
 Gen = Generator[Any, Any, Any]
+
+#: Thread count at which ``queue="auto"`` switches the engine from the
+#: global heapq to the bucket/calendar queue.  Below the knee the heap
+#: is small enough that heapq's C hot path wins; above it the pending
+#: set is dominated by far-future pacing/park entries and O(1) bucket
+#: appends win (see docs/performance.md, "O(active) engine").  Every
+#: figure preset runs at <= 64 threads, so the canonical pinned
+#: schedules always take the heap backend; dispatch order is identical
+#: either way, so the knee affects speed, never results.
+AUTO_QUEUE_KNEE = 512
 
 
 class Machine:
@@ -37,13 +47,17 @@ class Machine:
     def __init__(self, threads: int, net: NetworkModel, seed: int = 0,
                  tracer: Optional[Tracer] = None,
                  max_events: int = 50_000_000,
-                 tie_break: Optional[Callable[[int], Any]] = None) -> None:
+                 tie_break: Optional[Callable[[int], Any]] = None,
+                 queue: str = "auto") -> None:
         if threads < 1:
             raise ConfigError(f"threads must be >= 1, got {threads}")
+        if queue == "auto":
+            queue = "bucket" if threads >= AUTO_QUEUE_KNEE else "heap"
         self.n_threads = threads
         self.net = net
         self.seed = seed
-        self.sim = Simulator(max_events=max_events, tie_break=tie_break)
+        self.sim = Simulator(max_events=max_events, tie_break=tie_break,
+                             queue=queue)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # Engine-level hook: lets Simulator.interrupt record fail-stops
         # into the same trace stream (no-op when tracing is off).

@@ -12,12 +12,14 @@ Public surface:
 """
 
 from repro.sim.engine import Process, SimEvent, Simulator, Timeout
+from repro.sim.equeue import BucketQueue
 from repro.sim.resources import FifoLock, Gate
 from repro.sim.rng import StreamRng, substream_seed
 from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer
 
 __all__ = [
     "Simulator",
+    "BucketQueue",
     "Process",
     "SimEvent",
     "Timeout",

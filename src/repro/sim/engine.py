@@ -33,7 +33,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.errors import DeadlockError, EventLimitExceeded, SimulationError
+from repro.errors import ConfigError, DeadlockError, EventLimitExceeded, \
+    SimulationError
+from repro.sim.equeue import DEFAULT_BUCKET_WIDTH, BucketQueue
 
 __all__ = ["SimEvent", "Timeout", "Process", "Simulator"]
 
@@ -112,9 +114,11 @@ class SimEvent:
             sim._seq += 1
             tb = sim.tie_break
             key = sim._seq if tb is None else tb(sim._seq)
-            heapq.heappush(sim._heap,
-                           (sim.now + delay, key, None,
-                            (self, value, stagger)))
+            item = (sim.now + delay, key, None, (self, value, stagger))
+            if sim._equeue is None:
+                heapq.heappush(sim._heap, item)
+            else:
+                sim._equeue.push(item)
 
     def _fire(self, value: Any, stagger: float) -> None:
         self.fired = True
@@ -178,11 +182,25 @@ class Simulator:
     """The discrete-event engine: clock, heap, and process bookkeeping."""
 
     def __init__(self, max_events: int = 50_000_000,
-                 tie_break: Optional[Callable[[int], Any]] = None) -> None:
+                 tie_break: Optional[Callable[[int], Any]] = None,
+                 queue: str = "heap",
+                 queue_width: float = DEFAULT_BUCKET_WIDTH) -> None:
         self.now: float = 0.0
         self.max_events = max_events
         self.events_processed = 0
         self._heap: list[tuple[float, Any, Process, Any]] = []
+        #: Event-queue backend: ``"heap"`` (default) keeps the classic
+        #: global heapq; ``"bucket"`` swaps in a calendar queue with
+        #: identical dispatch order (see :mod:`repro.sim.equeue`) --
+        #: worthwhile only at thousands of simulated threads, which is
+        #: why :class:`repro.pgas.machine.Machine` selects it
+        #: automatically past a thread-count knee.
+        if queue not in ("heap", "bucket"):
+            raise ConfigError(
+                f"queue must be 'heap' or 'bucket', got {queue!r}")
+        self.queue = queue
+        self._equeue: Optional[BucketQueue] = (
+            BucketQueue(queue_width) if queue == "bucket" else None)
         self._seq = 0
         self._live_processes = 0
         #: Optional schedule-exploration hook (``repro.check``): maps the
@@ -208,7 +226,11 @@ class Simulator:
         self._seq += 1
         tb = self.tie_break
         key = self._seq if tb is None else tb(self._seq)
-        heapq.heappush(self._heap, (self.now + delay, key, proc, value))
+        item = (self.now + delay, key, proc, value)
+        if self._equeue is None:
+            heapq.heappush(self._heap, item)
+        else:
+            self._equeue.push(item)
 
     def _call_at(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule a bare callback (used for delayed event firing)."""
@@ -217,7 +239,11 @@ class Simulator:
         self._seq += 1
         tb = self.tie_break
         key = self._seq if tb is None else tb(self._seq)
-        heapq.heappush(self._heap, (self.now + delay, key, None, fn))
+        item = (self.now + delay, key, None, fn)
+        if self._equeue is None:
+            heapq.heappush(self._heap, item)
+        else:
+            self._equeue.push(item)
 
     def spawn(self, body: ProcessBody, name: str = "", delay: float = 0.0) -> Process:
         """Register a generator as a process, starting after ``delay``."""
@@ -300,6 +326,8 @@ class Simulator:
             # seq keys (they mint keys inline); a policy run takes the
             # generic loop so every push goes through the policy.
             return self._run_policy(until)
+        if self._equeue is not None:
+            return self._run_bucket(until)
         if until is not None:
             return self._run_until(until)
         heap = self._heap
@@ -413,6 +441,83 @@ class Simulator:
             self.events_processed = n
         return self.now
 
+    def _run_bucket(self, until: Optional[float]) -> float:
+        """The :meth:`run` loop over the bucket queue backend.
+
+        Mirrors the inlined heap loop (same dispatch, same stale-entry
+        skip, same exact budget check) with pops/pushes routed through
+        :class:`~repro.sim.equeue.BucketQueue`.  Dispatch order -- and
+        therefore every result -- is identical to the heap loop's.
+        """
+        eq = self._equeue
+        pop = eq.pop
+        push = eq.push
+        timeout_cls = Timeout
+        event_cls = SimEvent
+        n = self.events_processed
+        limit = self.max_events
+        try:
+            while eq:
+                item = pop()
+                time = item[0]
+                if until is not None and time > until:
+                    # Not consumed: push back (same tuple, same seq) so
+                    # a later run() continues cleanly.
+                    push(item)
+                    self.now = until
+                    return self.now
+                proc = item[2]
+                value = item[3]
+                if proc is not None:
+                    if not proc.alive:
+                        continue  # stale resumption, never counted
+                    self.now = time
+                    if n >= limit:
+                        raise self._limit_error()
+                    n += 1
+                    body = proc.body
+                    try:
+                        awaited = body.send(value)
+                    except StopIteration as stop:
+                        proc.alive = False
+                        proc.done.succeed(stop.value)
+                        self._live_processes -= 1
+                        continue
+                    cls = awaited.__class__
+                    if cls is timeout_cls:
+                        self._seq = seq = self._seq + 1
+                        push((time + awaited.delay, seq, proc,
+                              awaited.value))
+                    elif cls is event_cls:
+                        if awaited.fired:
+                            self._seq = seq = self._seq + 1
+                            push((time, seq, proc, awaited.value))
+                        else:
+                            awaited._waiters.append(proc)
+                    elif isinstance(awaited, timeout_cls):
+                        self._schedule(awaited.delay, proc, awaited.value)
+                    elif isinstance(awaited, event_cls):
+                        awaited.add_waiter(proc)
+                    else:
+                        raise SimulationError(
+                            f"process {proc.name!r} yielded "
+                            f"non-awaitable {awaited!r}"
+                        )
+                else:
+                    self.now = time
+                    if n >= limit:
+                        raise self._limit_error()
+                    n += 1
+                    if value.__class__ is tuple:
+                        # Delayed event fire (see SimEvent.succeed).
+                        ev, val, stagger = value
+                        ev._fire(val, stagger)
+                    else:
+                        value()  # bare callback (_call_at)
+        finally:
+            self.events_processed = n
+        return self.now
+
     def _run_policy(self, until: Optional[float]) -> float:
         """Generic loop used when a ``tie_break`` policy is installed.
 
@@ -420,21 +525,30 @@ class Simulator:
         except that every event scheduled from inside the loop goes
         through :meth:`_schedule` (and thus the policy) instead of the
         inlined FIFO pushes.  With the identity policy ``lambda s: s``
-        this executes the exact canonical schedule.
+        this executes the exact canonical schedule.  Works over either
+        queue backend, so tie-break exploration composes with the
+        bucket queue.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        push = heapq.heappush
+        eq = self._equeue
+        if eq is None:
+            heap = self._heap
+            queue_nonempty = heap.__len__
+            pop_item = lambda: heapq.heappop(heap)          # noqa: E731
+            push_item = lambda it: heapq.heappush(heap, it)  # noqa: E731
+        else:
+            queue_nonempty = eq.__len__
+            pop_item = eq.pop
+            push_item = eq.push
         n = self.events_processed
         limit = self.max_events
         try:
-            while heap:
-                item = pop(heap)
+            while queue_nonempty():
+                item = pop_item()
                 time = item[0]
                 if until is not None and time > until:
                     # Not consumed: push back (same tuple, same key) so
                     # a later run() continues cleanly.
-                    push(heap, item)
+                    push_item(item)
                     self.now = until
                     return self.now
                 proc = item[2]
@@ -466,9 +580,16 @@ class Simulator:
             self.spawn(body)
         return self.run()
 
+    @property
+    def queue_size(self) -> int:
+        """Pending events in the queue (either backend).  Cheap enough
+        to sample between ``run(until=)`` segments for peak tracking."""
+        eq = self._equeue
+        return len(self._heap) if eq is None else len(eq)
+
     def check_quiescent(self) -> None:
         """Raise :class:`DeadlockError` if live processes remain blocked."""
-        if self._live_processes > 0 and not self._heap:
+        if self._live_processes > 0 and self.queue_size == 0:
             raise DeadlockError(
                 f"{self._live_processes} process(es) blocked forever "
                 "with an empty event heap"

@@ -15,6 +15,7 @@ and requests only when it touches its stack bookkeeping.
 
 from __future__ import annotations
 
+import math
 from typing import Generator, List
 
 from repro.errors import ProtocolError
@@ -129,6 +130,19 @@ class AlgorithmBase:
         self.in_flight_nodes = 0
         # Thread 0 starts with the root; everyone else starts searching.
         self.stacks[0].push(tree.root())
+        #: Event-driven idle coordination (``idle_strategy="park"``), or
+        #: None under the default polling strategy.  Every hot path
+        #: tests this one attribute; with the gate absent the schedule
+        #: is bit-identical to a build without the park layer.
+        if cfg.idle_strategy == "park":
+            from repro.ws.idle import IdleGate
+            self._gate = IdleGate(
+                machine.sim,
+                [1 if s.peek() > 0 else (0 if s.peek() == 0 else -1)
+                 for s in self._wa_slots],
+            )
+        else:
+            self._gate = None
         self.setup()
 
     def setup(self) -> None:
@@ -170,6 +184,32 @@ class AlgorithmBase:
         tr = self.tracer
         if tr.enabled:
             tr.emit(self.machine.sim.now, ctx.rank, "state", state)
+
+    def _park_resume_delay(self, t0: float, backoff: float, now: float,
+                           bmax: float, factor: float) -> tuple:
+        """Map a wakeup at ``now`` onto the thread's *virtual* polling
+        cadence: the probe ticks it would have taken had it kept
+        backoff-polling from its park at ``t0`` with ``backoff``
+        pending (doubling by ``factor`` up to the ``bmax`` cap).
+
+        Returns ``(delay, next_backoff)``: sleep ``delay`` from now so
+        the probe lands on the first virtual tick >= ``now``, with the
+        backoff the cadence would carry past that tick.  Guarantees a
+        parked thread never probes *more* often than the polling build
+        -- park is strictly cheaper even under wake storms -- and
+        spreads simultaneous wakeups over each thread's own cadence
+        phase instead of thundering onto one timestamp.
+        """
+        t = t0 + backoff
+        b = min(backoff * factor, bmax)
+        while t < now:
+            if b >= bmax:
+                # Capped region: close the gap in one step.
+                t += math.ceil((now - t) / bmax) * bmax
+                break
+            t += b
+            b = min(b * factor, bmax)
+        return (t - now if t > now else 0.0), b
 
     def _ref_row(self, rank: int) -> List[float]:
         """Shared-reference cost from ``rank`` to every victim, built on

@@ -76,6 +76,8 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             nodes = flatten(chunks)
             self.in_flight_nodes += len(nodes)
             self.work_avail[rank].poke(stack.shared_chunks)
+            if self._gate is not None:
+                self._gate.note(rank, stack.shared_chunks)
             st.requests_granted += 1
             if rt is not None:
                 # Journal the granted nodes across the yield below: if
@@ -159,6 +161,12 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
                                    name=f"giveup.T{rank}")
         yield from ctx.compute(self.net.shared_ref(rank, victim))
         self.request[victim].poke(rank)
+        if self._gate is not None:
+            # The victim may have consumed its surplus and parked in the
+            # probe->poke window; a parked victim polls only on wake, so
+            # wake it to service (grant or deny) this request -- we are
+            # about to block on its response.
+            self._gate.wake(victim)
         yield from ctx.unlock(lk)
         # Wait for the victim's response -- spinning on our own response
         # variable, a local read, so no cost beyond the elapsed time.
@@ -207,6 +215,8 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         st.chunks_stolen += len(chunks)
         st.nodes_stolen += len(nodes)
         self.work_avail[rank].poke(0)
+        if self._gate is not None:
+            self._gate.note(rank, 0)
         if tr.enabled:
             tr.emit(self.machine.sim.now, rank, "steal",
                     f"from=T{victim} chunks={len(chunks)} nodes={len(nodes)}")
@@ -241,6 +251,11 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         # costs one attribute read instead of a generator round trip.
         req_slot = self.request[rank]
         wa.poke(stack.shared_chunks)
+        # Idle-gate notes ride on the existing work_avail writes (one
+        # is-not-None test each in poll mode; see LockBasedAlgorithm).
+        gate = self._gate
+        if gate is not None:
+            gate.note(rank, stack.shared_chunks)
         local = stack.local
         shared = stack.shared
         vt = self._visit_timeouts if self._fast else None
@@ -262,6 +277,8 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
                     local[0:0] = got
                     stack.reacquired_nodes += len(got)
                     wa.poke(len(shared))
+                    if gate is not None:
+                        gate.note(rank, len(shared))
                     st.reacquires += 1
                     continue
                 break
@@ -289,8 +306,12 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
                 shared.append(released)
                 stack.released_nodes += chunk
                 wa.poke(len(shared))
+                if gate is not None:
+                    gate.note(rank, len(shared))
                 st.releases += 1
         wa.poke(NO_WORK)
+        if gate is not None:
+            gate.note(rank, NO_WORK)
         # Deny any request that raced our transition to idle.
         if req_slot.value is not None:
             yield from self.service_request(ctx)
@@ -340,6 +361,75 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             backoff = min(backoff * self.cfg.search_backoff_factor,
                           self.cfg.search_backoff_max)
 
+    def search_phase_park(self, ctx: UpcContext) -> Generator:
+        """Event-driven :meth:`search_phase` (``idle_strategy="park"``).
+
+        Same probe/request protocol per cycle; cycles run only while
+        the gate reports surplus, and between them the thread parks
+        (see ``LockBasedAlgorithm.search_phase_park`` for the skip and
+        cadence rationale).  Two distmem specifics: a pending steal
+        request is serviced at the top of every iteration *and*
+        immediately on wake -- a thief's targeted wake means a request
+        is waiting and the thief is blocked on our answer -- and probes
+        use :meth:`ref_cost_bounds` arithmetic plus a lazy probe order
+        rather than the O(n) cached row and up-front shuffle.
+        """
+        rank = ctx.rank
+        st = self.stats[rank]
+        gate = self._gate
+        req_slot = self.request[rank]
+        slots = self._wa_slots
+        node_lo, node_hi, c_local, c_remote = self.net.ref_cost_bounds(rank)
+        lazy_cycle = self.probe_orders[rank].lazy_cycle
+        bmax = self.cfg.search_backoff_max
+        bfactor = self.cfg.search_backoff_factor
+        backoff = self.cfg.search_backoff_min
+        while True:
+            if req_slot.value is not None:
+                yield from self.service_request(ctx)
+            if gate.n_surplus > 0:
+                cost_acc = 0.0
+                n_probes = 0
+                for victim in lazy_cycle():
+                    if gate.n_surplus == 0:
+                        break  # last surplus consumed mid-scan
+                    n_probes += 1
+                    cost_acc += (c_local if node_lo <= victim < node_hi
+                                 else c_remote)
+                    avail = slots[victim].value
+                    if avail > 0:
+                        st.probes += n_probes
+                        n_probes = 0
+                        if cost_acc > 0:
+                            yield from ctx.compute(cost_acc)
+                            cost_acc = 0.0
+                        self.enter_state(ctx, STEALING)
+                        ok = yield from self.try_steal(ctx, victim)
+                        self.enter_state(ctx, SEARCHING)
+                        if ok:
+                            return True
+                        # Denied: "continue probing" (3.3.3).
+                st.probes += n_probes
+                if cost_acc > 0:
+                    yield from ctx.compute(cost_acc)
+                yield from ctx.compute(backoff)
+                backoff = min(backoff * bfactor, bmax)
+                continue
+            if gate.n_active == 0:
+                return False
+            t_park = ctx.now
+            ctx.trace("idle.park")
+            yield gate.park(rank)
+            ctx.trace("idle.wake")
+            if req_slot.value is not None:
+                # Serviced before rejoining the cadence: the requesting
+                # thief is blocked on this answer right now.
+                yield from self.service_request(ctx)
+            delay, backoff = self._park_resume_delay(
+                t_park, backoff, ctx.now, bmax, bfactor)
+            if delay > 0:
+                yield Timeout(delay)
+
     def barrier_service_hook(self, ctx: UpcContext) -> Generator:
         """In-barrier threads still deny racing steal requests."""
         if self.request[ctx.rank].value is not None:
@@ -353,13 +443,19 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         self.response_events[rank] = None
 
     def thread_main(self, ctx: UpcContext) -> Generator:
+        # Park mode swaps in the event-driven search/termination
+        # variants; the working phase is shared with polling.
+        park = self._gate is not None
+        search = self.search_phase_park if park else self.search_phase
+        terminate = (self.termination_phase_park if park
+                     else self.termination_phase)
         while True:
             if not self.stacks[ctx.rank].is_empty:
                 yield from self.working_phase(ctx)
-            found = yield from self.search_phase(ctx)
+            found = yield from search(ctx)
             if found:
                 continue
-            terminated = yield from self.termination_phase(ctx)
+            terminated = yield from terminate(ctx)
             if terminated:
                 break
         # A last denial sweep: a thief's request may have landed while

@@ -64,6 +64,12 @@ class LockBasedAlgorithm(AlgorithmBase):
         self.enter_state(ctx, WORKING)
         wa = self.work_avail[rank]
         wa.poke(stack.shared_chunks)
+        # Idle-gate notes ride on the existing work_avail writes: with
+        # the gate absent (poll mode) each is one is-not-None test, so
+        # the canonical schedule is untouched.
+        gate = self._gate
+        if gate is not None:
+            gate.note(rank, stack.shared_chunks)
         # Hot loop: aliases to the stack's in-place-mutated containers
         # plus the precomputed per-batch visit Timeouts.  On fault-free
         # runs the bodies of ``release``/``reacquire`` (and the stack
@@ -114,6 +120,8 @@ class LockBasedAlgorithm(AlgorithmBase):
                         stack.reacquired_nodes += len(got)
                         wa.writes += 1
                         wa.value = len(shared)
+                        if gate is not None:
+                            gate.note(rank, len(shared))
                         st.reacquires += 1
                     if unlock_to is not None:
                         yield unlock_to
@@ -167,6 +175,8 @@ class LockBasedAlgorithm(AlgorithmBase):
                 stack.released_nodes += chunk
                 wa.writes += 1
                 wa.value = len(shared)
+                if gate is not None:
+                    gate.note(rank, len(shared))
                 if unlock_to is not None:
                     yield unlock_to
                 fifo.busy_time += sim.now - fifo._acquired_at
@@ -185,6 +195,8 @@ class LockBasedAlgorithm(AlgorithmBase):
                 if after_hook:
                     yield from self.after_release(ctx)
         wa.poke(NO_WORK)
+        if gate is not None:
+            gate.note(rank, NO_WORK)
         self.enter_state(ctx, SEARCHING)
 
     def release(self, ctx) -> Generator:
@@ -221,6 +233,8 @@ class LockBasedAlgorithm(AlgorithmBase):
             wa = self.work_avail[rank]
             wa.writes += 1
             wa.value = len(stack.shared)
+            if self._gate is not None:
+                self._gate.note(rank, len(stack.shared))
             if unlock_to is not None:
                 yield unlock_to
             fifo.release()
@@ -231,6 +245,8 @@ class LockBasedAlgorithm(AlgorithmBase):
             yield from ctx.lock(lk)
             stack.release(self.cfg.chunk_size)
             self.work_avail[rank].poke(stack.shared_chunks)
+            if self._gate is not None:
+                self._gate.note(rank, stack.shared_chunks)
             yield from ctx.unlock(lk)
         self.stats[rank].releases += 1
         if tr.enabled:
@@ -277,6 +293,8 @@ class LockBasedAlgorithm(AlgorithmBase):
                 wa = self.work_avail[rank]
                 wa.writes += 1
                 wa.value = len(stack.shared)
+                if self._gate is not None:
+                    self._gate.note(rank, len(stack.shared))
                 self.stats[rank].reacquires += 1
             if unlock_to is not None:
                 yield unlock_to
@@ -289,6 +307,8 @@ class LockBasedAlgorithm(AlgorithmBase):
         if stack.shared_chunks:
             stack.reacquire()
             self.work_avail[rank].poke(stack.shared_chunks)
+            if self._gate is not None:
+                self._gate.note(rank, stack.shared_chunks)
             self.stats[rank].reacquires += 1
         yield from ctx.unlock(lk)
 
@@ -328,6 +348,8 @@ class LockBasedAlgorithm(AlgorithmBase):
             # push_many below they exist only in this thief's frame.
             rt.begin_transfer(rank, nodes)
         self.work_avail[victim].poke(vstack.shared_chunks)
+        if self._gate is not None:
+            self._gate.note(victim, vstack.shared_chunks)
         yield from ctx.compute(self.net.shared_ref(rank, victim))
         yield from ctx.unlock(lk)
         # One-sided transfer outside the critical region; the victim
@@ -396,3 +418,90 @@ class LockBasedAlgorithm(AlgorithmBase):
             yield from ctx.compute(backoff)
             backoff = min(backoff * self.cfg.search_backoff_factor,
                           self.cfg.search_backoff_max)
+
+    def search_phase_park(self, ctx, persist_while_working: bool) -> Generator:
+        """Event-driven :meth:`search_phase` (``idle_strategy="park"``).
+
+        Two deviations from polling, both keyed off the idle gate's
+        exact counters (updated synchronously at every ``work_avail``
+        write, so never stale):
+
+        * A probe cycle runs only while ``gate.n_surplus > 0`` -- when
+          no thread has stealable work, a full scan *provably* fails,
+          so the thread skips straight to parking instead of paying n
+          probes to learn nothing.  (The real machine pays those futile
+          probes; E11's polling baseline still does.)  A cycle also
+          stops early once the last surplus is consumed mid-scan.
+        * Between cycles the thread parks on the gate rather than
+          keeping a backoff Timeout in the event queue.  Park requires
+          ``n_surplus == 0 and n_active > 0``, checked atomically with
+          registration (no yield in between, so no missed wakeup); a
+          new surplus wakes a bounded batch of parked threads, and the
+          last active rank going idle wakes everyone, so every park is
+          eventually woken.  On wake the thread resumes at the next tick
+          of its virtual polling cadence (:meth:`_park_resume_delay`),
+          never probing more often than the polling build would.
+
+        Probes price references with :meth:`ref_cost_bounds` arithmetic
+        instead of the cached ``_ref_row`` -- at 4096 threads the
+        per-rank row cache is O(n^2) floats, and a parked machine runs
+        too few cycles to amortize it -- and draw victims from
+        :meth:`~repro.ws.policies.ProbeOrder.lazy_cycle`, so a scan the
+        gate cuts short costs O(probed), not O(n), host-side.
+        """
+        rank = ctx.rank
+        st = self.stats[rank]
+        gate = self._gate
+        slots = self._wa_slots
+        node_lo, node_hi, c_local, c_remote = self.net.ref_cost_bounds(rank)
+        lazy_cycle = self.probe_orders[rank].lazy_cycle
+        bmax = self.cfg.search_backoff_max
+        bfactor = self.cfg.search_backoff_factor
+        backoff = self.cfg.search_backoff_min
+        while True:
+            if gate.n_surplus > 0:
+                cost_acc = 0.0
+                n_probes = 0
+                for victim in lazy_cycle():
+                    if gate.n_surplus == 0:
+                        break  # last surplus consumed mid-scan
+                    n_probes += 1
+                    cost_acc += (c_local if node_lo <= victim < node_hi
+                                 else c_remote)
+                    avail = slots[victim].value
+                    if avail > 0:
+                        st.probes += n_probes
+                        n_probes = 0
+                        if cost_acc > 0:
+                            yield from ctx.compute(cost_acc)
+                            cost_acc = 0.0
+                        self.enter_state(ctx, STEALING)
+                        ok = yield from self.try_steal(ctx, victim)
+                        self.enter_state(ctx, SEARCHING)
+                        if ok:
+                            return True
+                st.probes += n_probes
+                if cost_acc > 0:
+                    yield from ctx.compute(cost_acc)
+                if not persist_while_working:
+                    return False
+                # Failed cycle with surplus still visible: stay on the
+                # polling cadence so the next attempt happens promptly.
+                yield from ctx.compute(backoff)
+                backoff = min(backoff * bfactor, bmax)
+                continue
+            if not persist_while_working:
+                return False
+            if gate.n_active == 0:
+                # Globally idle (exact, not a stale probe snapshot):
+                # enter termination detection.
+                return False
+            # Some thread is working but nothing is stealable: park.
+            t_park = ctx.now
+            ctx.trace("idle.park")
+            yield gate.park(rank)
+            ctx.trace("idle.wake")
+            delay, backoff = self._park_resume_delay(
+                t_park, backoff, ctx.now, bmax, bfactor)
+            if delay > 0:
+                yield Timeout(delay)

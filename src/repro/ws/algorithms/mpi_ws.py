@@ -234,6 +234,8 @@ class MpiWorkStealing(AlgorithmBase):
         """
         if self.faulty:
             return (yield from self._idle_phase_faulty(ctx))
+        if self._gate is not None:
+            return (yield from self._idle_phase_park(ctx))
         rank = ctx.rank
         n = self.machine.n_threads
         stack = self.stacks[rank]
@@ -302,6 +304,125 @@ class MpiWorkStealing(AlgorithmBase):
             yield from ctx.compute(backoff)
             backoff = min(backoff * self.cfg.search_backoff_factor,
                           self.cfg.search_backoff_max)
+
+    def _idle_handle_park(self, ctx: UpcContext, msg, stack, st,
+                          token) -> Generator:
+        """Dispatch one message for the park idle loop.  Returns
+        ``"term"``, ``"work"``, ``"nowork"``, or None -- same actions,
+        counters, and traces as the polling loop's drain."""
+        if msg.tag == TERM:
+            yield from self._forward_term(ctx)
+            return "term"
+        if msg.tag == REQUEST:
+            st.requests_denied += 1
+            ctx.trace("steal.deny", f"thief=T{msg.src}")
+            yield from self._send(ctx, msg.src, NOWORK)
+            return None
+        if msg.tag == TOKEN:
+            token.on_token(msg.payload)
+            return None
+        if msg.tag == WORK:
+            stack.push_many(msg.payload)
+            self.in_flight_nodes -= len(msg.payload)
+            st.steals_ok += 1
+            st.chunks_stolen += 1
+            st.nodes_stolen += len(msg.payload)
+            ctx.trace("steal", f"from=T{msg.src} chunks=1 "
+                               f"nodes={len(msg.payload)}")
+            return "work"
+        ctx.trace("steal.fail", f"victim=T{msg.src} reason=denied")
+        return "nowork"
+
+    def _idle_phase_park(self, ctx: UpcContext) -> Generator:
+        """Event-driven idle loop (``idle_strategy="park"``).
+
+        The two-sided protocol means an idle MPI rank can never go
+        fully silent: it must answer steal requests, circulate the
+        termination token, and keep its own REQUEST outstanding.  So
+        "parking" here is a blocking :meth:`~repro.msg.comm.MsgEndpoint.recv`
+        in place of the backoff poll loop -- the rank sleeps in the
+        message layer's waiter registry (O(1) engine cost) and is woken
+        by exactly the traffic it would otherwise poll for.  Deadlock-
+        free: a blocked rank always has its REQUEST in flight, and the
+        response is guaranteed fault-free (a working victim polls; an
+        idle one is itself woken by the REQUEST).
+
+        This is inherently O(messages), not O(active): the protocol has
+        no one-sided probe an idle rank could skip, so idle ranks keep
+        exchanging REQUEST/NOWORK pairs at the backoff cadence -- the
+        paper's one-sided-vs-two-sided contrast, measurable in E11.
+
+        One deviation from the polling loop: the request backoff decays
+        to its cap and never resets on message progress, bounding a
+        fully-idle machine's request traffic at ``1/backoff_max`` per
+        rank.  (Polling resets it on every served message, which at
+        4096 mostly-idle ranks would keep the floor cadence forever.)
+        """
+        rank = ctx.rank
+        n = self.machine.n_threads
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        ep = self.endpoints[rank]
+        token = self.tokens[rank]
+        if n == 1:
+            return True  # alone: local exhaustion is global termination
+        outstanding = None
+        bmax = self.cfg.search_backoff_max
+        bfactor = self.cfg.search_backoff_factor
+        backoff = self.cfg.search_backoff_min
+        while True:
+            # Drain already-delivered traffic (free local polls).
+            while (msg := ep.iprobe()) is not None:
+                status = yield from self._idle_handle_park(
+                    ctx, msg, stack, st, token)
+                if status == "term":
+                    return True
+                if status == "work":
+                    return False
+                if status == "nowork":
+                    outstanding = None
+            # Token duties while idle (identical to the polling loop).
+            if token.holding is not None:
+                if rank == 0:
+                    if token.round_succeeded():
+                        yield from self._broadcast_term(ctx)
+                        return True
+                    colour = token.initiate()
+                    ctx.trace("token.hop",
+                              f"to=T{token.next_rank} colour={colour}")
+                    yield from self._send(ctx, token.next_rank, TOKEN,
+                                          payload=colour)
+                else:
+                    yield from self._forward_token(ctx)
+            elif rank == 0 and not token.in_flight:
+                token.launch()
+                ctx.trace("token.hop", f"to=T{token.next_rank} colour={WHITE}")
+                yield from self._send(ctx, token.next_rank, TOKEN,
+                                      payload=WHITE)
+            if outstanding is None:
+                # Pace the next REQUEST *before* sending it, then loop
+                # back to drain traffic that landed during the pace
+                # before blocking on the response.
+                yield from ctx.compute(backoff)
+                backoff = min(backoff * bfactor, bmax)
+                victim = self.probe_orders[rank].one()
+                st.steal_attempts += 1
+                st.probes += 1
+                ctx.trace("steal.req", f"victim=T{victim}")
+                yield from self._send(ctx, victim, REQUEST)
+                outstanding = victim
+                continue
+            # Park: block until the next message (response, request,
+            # token, or TERM) instead of spinning on the backoff timer.
+            msg = yield from ep.recv()
+            status = yield from self._idle_handle_park(
+                ctx, msg, stack, st, token)
+            if status == "term":
+                return True
+            if status == "work":
+                return False
+            if status == "nowork":
+                outstanding = None
 
     # -- fault-tolerant mode (active only with a FaultPlan) ------------------
     #

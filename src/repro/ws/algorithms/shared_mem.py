@@ -5,6 +5,12 @@ termination.  Performs well when remote references are cheap (SGI
 Altix) and collapses on clusters, where every release's barrier reset
 and every steal's remote locking eat the working threads alive --
 which is exactly what Figure 4 shows.
+
+``idle_strategy="park"`` is a no-op here (accepted, nothing to swap):
+this algorithm is already event-driven when idle -- a failed probe
+cycle sends the thread straight into the cancelable barrier, where it
+blocks on a SimEvent until a release cancels the barrier or the count
+completes.  No idle thread ever keeps a poll timer in the event queue.
 """
 
 from __future__ import annotations

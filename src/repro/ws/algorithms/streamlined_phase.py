@@ -104,3 +104,99 @@ class StreamlinedTerminationMixin:
                 else:
                     yield from ctx.compute(poll)
             poll = min(poll * 2.0, self.cfg.barrier_poll_max)
+
+    def termination_phase_park(self, ctx: UpcContext) -> Generator:
+        """Event-driven :meth:`termination_phase` (``idle_strategy="park"``).
+
+        The barrier protocol (enter / probe one / leave-steal-re-enter /
+        announce) is the canonical one; what changes is the waiting: a
+        waiter that sees no surplus anywhere parks on the idle gate
+        instead of keeping its poll Timeout in the event queue.  Wakeups
+        are guaranteed: surplus appearing wakes a batch from the gate
+        (any waiter it passes over is woken by a later transition or
+        by termination), and the announcing thread fires ``wake_all``
+        *after* setting ``terminated``, so a woken waiter always
+        observes the flag.  On wake a waiter resumes on its virtual poll cadence
+        (:meth:`~repro.ws.algorithms.base.AlgorithmBase._park_resume_delay`),
+        bounding its probe rate by the polling build's.  Fault-free
+        only (:class:`~repro.ws.config.WsConfig` rejects park + faults),
+        so the barrier-death recovery branch of the polling variant has
+        no counterpart here.
+
+        Probes call ``net.shared_ref`` directly: the cached per-rank
+        cost row is O(n) to build and O(n^2) machine-wide, which the
+        one-victim-per-poll cadence never amortizes at scale.
+        """
+        rank = ctx.rank
+        st = self.stats[rank]
+        st.barrier_entries += 1
+        self.enter_state(ctx, BARRIER)
+        gate = self._gate
+        last = yield from self.barrier.enter(ctx)
+        if last:
+            self.quiescence_check()
+            yield from self.barrier.announce(ctx)
+            gate.wake_all()
+            return True
+        poll = self.cfg.barrier_poll_min
+        pmax = self.cfg.barrier_poll_max
+        one = self.probe_orders[rank].one
+        slots = self._wa_slots
+        shared_ref = self.net.shared_ref
+        while True:
+            yield from self.barrier_service_hook(ctx)
+            if self.barrier.terminated:
+                return True
+            if gate.n_surplus == 0:
+                # Nothing stealable anywhere (gate counters are exact):
+                # the single-victim inspection would provably find
+                # nothing, so skip it and park below.
+                avail = 0
+            else:
+                # Inspect a single other thread (Sect. 3.3.1).
+                victim = one()
+                st.probes += 1
+                cost = shared_ref(rank, victim)
+                if cost > 0:
+                    yield Timeout(cost)
+                avail = slots[victim].value
+            if avail > 0:
+                # Leave the barrier before touching the work so the
+                # count never certifies termination with work in flight.
+                yield from self.barrier.leave(ctx)
+                self.enter_state(ctx, STEALING)
+                ok = yield from self.try_steal(ctx, victim)
+                if ok:
+                    st.barrier_exits += 1
+                    self.enter_state(ctx, SEARCHING)
+                    return False
+                self.enter_state(ctx, BARRIER)
+                last = yield from self.barrier.enter(ctx)
+                if last:
+                    self.quiescence_check()
+                    yield from self.barrier.announce(ctx)
+                    gate.wake_all()
+                    return True
+                poll = self.cfg.barrier_poll_min
+                continue
+            if gate.n_surplus == 0:
+                # Nothing stealable anywhere: park.  The wake is
+                # guaranteed -- by a surplus transition, by the last
+                # worker going idle, or by the announcer's wake_all --
+                # because a barrier waiter is never the thread the rest
+                # of the machine is waiting on.
+                t_park = ctx.now
+                ctx.trace("idle.park")
+                yield gate.park(rank)
+                ctx.trace("idle.wake")
+                # Service before the cadence sleep: a targeted wake
+                # (distmem) means a thief is blocked on our answer.
+                yield from self.barrier_service_hook(ctx)
+                delay, poll = self._park_resume_delay(
+                    t_park, poll, ctx.now, pmax, 2.0)
+                if delay > 0:
+                    yield Timeout(delay)
+                continue
+            if poll > 0:
+                yield Timeout(poll)
+            poll = min(poll * 2.0, pmax)

@@ -28,13 +28,20 @@ class UpcTerm(StreamlinedTerminationMixin, LockBasedAlgorithm):
         self.barrier = StreamlinedBarrier(self.machine)
 
     def thread_main(self, ctx: UpcContext) -> Generator:
+        # Park mode swaps in the event-driven search/termination
+        # variants; the working phase (and hence every result) is
+        # shared with the canonical polling build.
+        park = self._gate is not None
+        search = self.search_phase_park if park else self.search_phase
+        terminate = (self.termination_phase_park if park
+                     else self.termination_phase)
         while True:
             if not self.stacks[ctx.rank].is_empty:
                 yield from self.working_phase(ctx)
-            found = yield from self.search_phase(ctx, persist_while_working=True)
+            found = yield from search(ctx, persist_while_working=True)
             if found:
                 continue
-            terminated = yield from self.termination_phase(ctx)
+            terminated = yield from terminate(ctx)
             if terminated:
                 break
         yield from self.final_reduction(ctx)

@@ -46,6 +46,17 @@ class WsConfig:
     #: always ships one chunk per WORK message, as in the reference
     #: implementation; the override affects the UPC algorithms.)
     steal_policy: Optional[str] = None
+    #: What a thread with no work and no steal in progress does between
+    #: probe cycles.  ``"poll"`` (default) is the paper-faithful busy
+    #: poll: every idle thread keeps a backoff timer in the event queue,
+    #: so the engine pays O(threads) events per tick even when only a
+    #: handful are working.  ``"park"`` blocks the thread on an
+    #: :class:`~repro.ws.idle.IdleGate` event until some thread exposes
+    #: surplus, making engine cost O(active) -- required for the
+    #: 4096-thread scale runs (E11).  Parking changes the simulated
+    #: schedule (fewer probe events, same invariants/results), so the
+    #: pinned bit-identical figures all use ``"poll"``.
+    idle_strategy: str = "poll"
     #: Deterministic fault-injection plan (:mod:`repro.faults`), or None
     #: for a fault-free run.  With a plan set, the run also activates
     #: the recovery protocols and the conservation checker; without one
@@ -73,10 +84,23 @@ class WsConfig:
                 f"steal_policy must be None, 'one', or 'half'; "
                 f"got {self.steal_policy!r}"
             )
+        if self.idle_strategy not in ("poll", "park"):
+            raise ConfigError(
+                f"idle_strategy must be 'poll' or 'park', got "
+                f"{self.idle_strategy!r}"
+            )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ConfigError(
                 f"faults must be a FaultPlan or None, got "
                 f"{type(self.faults).__name__}"
+            )
+        if self.idle_strategy == "park" and self.faults is not None:
+            # A parked thread yields no events for the kill watchdog to
+            # interrupt between wakeups, and the recovery protocols
+            # assume the polling cadence; scale runs are fault-free.
+            raise ConfigError(
+                "idle_strategy='park' is fault-free only; use 'poll' "
+                "with a fault plan"
             )
 
     @property

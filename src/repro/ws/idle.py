@@ -1,0 +1,171 @@
+"""Event-driven idle coordination: the O(active) engine's core.
+
+Under the default ``idle_strategy="poll"`` every idle thread keeps a
+backoff :class:`~repro.sim.engine.Timeout` in the event queue, so a
+machine with 4096 threads and 3 busy ones still pays ~4093 events per
+backoff period.  :class:`IdleGate` replaces that with event-driven
+wakeups: an idle thread *parks* on a fresh
+:class:`~repro.sim.engine.SimEvent` and is woken only when the global
+work picture changes, so the pending-event set is O(active threads).
+
+The gate is pure simulation-host bookkeeping -- a thread-count-indexed
+flat category list, two counters, and a parked-event registry.  It
+charges no simulated time itself; every wakeup is an ordinary
+``SimEvent.succeed()`` dispatched through the engine, so schedules stay
+deterministic (parked threads wake in park order at identical
+timestamps).
+
+Category per rank, derived from every ``work_avail`` write:
+
+* ``1``  -- surplus: shared chunks available to steal (value > 0)
+* ``0``  -- active, no surplus: working on its local region (value 0)
+* ``-1`` -- idle: no work at all (value ``NO_WORK``)
+
+Two derived counts drive all decisions:
+
+* ``n_surplus`` (#ranks at 1): parking is only safe while this is 0;
+  every transition *into* surplus wakes a bounded batch
+  (``WAKE_BATCH``) of parked threads, oldest first.  Waking everyone
+  would reproduce the thundering herd the real machine pays -- n
+  scanners racing for one chunk, O(n^2) probes per exposure, the
+  dominant host cost at 1024+ threads -- for work only a couple of
+  them can win.  A batch of 2 instead grows the scanner pool
+  exponentially alongside the work itself (each thief's own release
+  wakes two more), which is the rapid-diffusion ramp, at O(active)
+  cost.  Threads the batch passes over sleep until the next surplus
+  transition or termination; that is a (documented) utilization
+  deviation from the all-poll machine, never a correctness one.
+* ``n_active`` (#ranks at >= 0): while this is > 0 some thread is
+  still working, so the simulation cannot deadlock with everyone
+  parked -- that working thread's own events keep time advancing, and
+  its next release/exhaustion transition reaches the gate.  When the
+  *last* active rank drops to idle the gate wakes everyone (this one
+  is a true ``wake_all``: termination needs every thread at the
+  barrier) so the protocol can run to completion instead of sleeping
+  forever on work that will never appear.
+
+Safety argument (why a parked thread never sleeps through termination):
+a thread parks only when it observes ``n_surplus == 0 and n_active >
+0`` *atomically* -- the check and the registration happen in the same
+simulation event, with no yield between them, so no wakeup can fall in
+the gap.  Any later transition that could matter (surplus appearing,
+or the last active thread going idle) fires a wake.  A *missed*
+surplus (exposed and consumed entirely between two of a thread's
+wakeups) costs load-balance, never correctness -- exactly like a
+missed probe under polling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.engine import SimEvent, Simulator
+
+__all__ = ["IdleGate", "WAKE_BATCH"]
+
+#: Parked threads woken per transition-into-surplus.  2 doubles the
+#: scanner pool per generation -- the rapid-diffusion growth rate --
+#: while keeping each exposure's probe cost O(batch * n / surplus)
+#: instead of the all-poll machine's O(n^2 / surplus).
+WAKE_BATCH = 2
+
+
+class IdleGate:
+    """Park/unpark coordination for one machine's idle threads."""
+
+    __slots__ = ("sim", "_cat", "n_surplus", "n_active", "_parked",
+                 "parks", "wakes")
+
+    def __init__(self, sim: Simulator, categories: List[int]) -> None:
+        """``categories`` seeds the per-rank state (one entry per rank,
+        already in gate form: 1 surplus / 0 active / -1 idle)."""
+        self.sim = sim
+        self._cat = list(categories)
+        self.n_surplus = sum(1 for c in self._cat if c > 0)
+        self.n_active = sum(1 for c in self._cat if c >= 0)
+        #: Parked ranks in park order (dict preserves insertion order);
+        #: wake order is therefore deterministic.
+        self._parked: Dict[int, SimEvent] = {}
+        #: Lifetime counters (observability: repro.obs idle-events).
+        self.parks = 0
+        self.wakes = 0
+
+    # -- state tracking ----------------------------------------------------
+
+    def note(self, rank: int, value: int) -> None:
+        """Record a ``work_avail`` write (value in chunks, or NO_WORK).
+
+        Called at every write site in the algorithms; cheap enough to
+        inline there (two compares on the no-transition path).
+        """
+        cat = 1 if value > 0 else (0 if value == 0 else -1)
+        old = self._cat[rank]
+        if cat == old:
+            return
+        self._cat[rank] = cat
+        if cat > 0:
+            self.n_surplus += 1
+            if old < 0:
+                self.n_active += 1
+            # A new surplus source: wake a bounded batch of thieves
+            # (every transition into surplus, not just 0 -> 1, so each
+            # source gets dedicated wakers even while others drain).
+            self.wake_some(WAKE_BATCH)
+        elif cat == 0:
+            if old > 0:
+                self.n_surplus -= 1
+            else:
+                self.n_active += 1
+        else:
+            if old > 0:
+                self.n_surplus -= 1
+            self.n_active -= 1
+            if self.n_active == 0:
+                # Last worker went idle: nothing will ever produce
+                # surplus again; wake everyone so termination can run.
+                self.wake_all()
+
+    # -- park / wake -------------------------------------------------------
+
+    def park(self, rank: int) -> SimEvent:
+        """Register ``rank`` as parked; yield the returned event.
+
+        The caller must have checked ``n_surplus == 0`` in the *same*
+        simulation event (no yield in between), or it may sleep through
+        work that is already visible.
+        """
+        ev = SimEvent(self.sim)
+        self._parked[rank] = ev
+        self.parks += 1
+        return ev
+
+    def wake(self, rank: int) -> None:
+        """Targeted wake (e.g. a steal request landed at ``rank``)."""
+        ev = self._parked.pop(rank, None)
+        if ev is not None:
+            self.wakes += 1
+            ev.succeed()
+
+    def wake_some(self, k: int) -> None:
+        """Wake up to ``k`` parked threads, oldest park first."""
+        parked = self._parked
+        while k > 0 and parked:
+            rank = next(iter(parked))
+            ev = parked.pop(rank)
+            self.wakes += 1
+            ev.succeed()
+            k -= 1
+
+    def wake_all(self) -> None:
+        """Wake every parked thread, in park order."""
+        if not self._parked:
+            return
+        parked = self._parked
+        self._parked = {}
+        self.wakes += len(parked)
+        for ev in parked.values():
+            ev.succeed()
+
+    @property
+    def n_parked(self) -> int:
+        return len(self._parked)

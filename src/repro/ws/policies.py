@@ -12,7 +12,7 @@ Two axes the paper varies:
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Iterator, List
 
 from repro.sim.rng import StreamRng
 
@@ -44,21 +44,70 @@ class ProbeOrder:
 
     A fresh shuffled permutation of the other ranks per probe cycle,
     drawn from the thread's deterministic stream.
+
+    No per-rank victim list is stored: across a machine that would be
+    O(n^2) small-int objects -- hundreds of MB at 4096 threads -- for
+    data that is pure ``range`` arithmetic.  :meth:`cycle` builds its
+    (transient) list per call, which the shuffle already required, and
+    :meth:`one` maps a single ``randrange`` draw over the gap at our
+    own rank.  Both consume the RNG identically to the stored-list
+    implementation, so every schedule is bit-identical.
     """
 
-    __slots__ = ("_others", "_rng")
+    __slots__ = ("_rank", "_n", "_rng")
 
     def __init__(self, rank: int, n_threads: int, rng: StreamRng) -> None:
-        self._others = [t for t in range(n_threads) if t != rank]
+        self._rank = rank
+        self._n = n_threads
         self._rng = rng
+
+    def others(self) -> List[int]:
+        """The other ranks in increasing order (fresh list per call)."""
+        others = list(range(self._n))
+        del others[self._rank]
+        return others
 
     def cycle(self) -> List[int]:
         """A new shuffled probe order over the other ranks."""
-        return self._rng.shuffled(self._others)
+        return self._rng.shuffled(self.others())
+
+    def _lazy_shuffle(self, items: List[int]) -> Iterator[int]:
+        """Yield ``items`` in uniform random order, one draw per yield.
+
+        Incremental Fisher-Yates: position ``i`` is fixed by a single
+        ``randrange`` the moment it is requested, so a consumer that
+        stops after ``k`` victims pays ``k`` draws, not ``len(items)``.
+        The full iteration is a uniform permutation, but the draw
+        sequence differs from :meth:`cycle`'s ``shuffle`` -- park-mode
+        schedules are validated by invariants, not bit-compared.
+        """
+        randrange = self._rng.randrange
+        n = len(items)
+        for i in range(n):
+            j = i + randrange(n - i)
+            items[i], items[j] = items[j], items[i]
+            yield items[i]
+
+    def lazy_cycle(self) -> Iterator[int]:
+        """Like :meth:`cycle`, but pay-per-probe (park scans only).
+
+        A park-mode scan usually stops after a handful of victims (the
+        gate's surplus count hits zero, or a steal succeeds); shuffling
+        all ``n - 1`` ranks up front made those aborted scans O(n) in
+        host RNG draws -- the dominant cost at 1024+ threads.
+        """
+        return self._lazy_shuffle(self.others())
 
     def one(self) -> int:
-        """A single random victim (used inside the termination barrier)."""
-        return self._rng.choice(self._others)
+        """A single random victim (used inside the termination barrier).
+
+        ``random.choice(seq)`` is ``seq[_randbelow(len(seq))]`` and
+        ``randrange(n)`` is ``_randbelow(n)``: one draw, same value,
+        and mapping the index over the gap at our own rank reproduces
+        ``others()[i]`` without building the list.
+        """
+        i = self._rng.randrange(self._n - 1)
+        return i if i < self._rank else i + 1
 
 
 class HierarchicalProbeOrder(ProbeOrder):
@@ -72,21 +121,30 @@ class HierarchicalProbeOrder(ProbeOrder):
     same-node ranks (cheap references) before the off-node ranks.
     """
 
-    __slots__ = ("_on_node", "_off_node")
+    __slots__ = ("_all", "_on_node", "_off_node")
 
     def __init__(self, rank: int, n_threads: int, rng: StreamRng,
                  same_node) -> None:
         super().__init__(rank, n_threads, rng)
-        self._on_node = [t for t in self._others if same_node(rank, t)]
-        self._off_node = [t for t in self._others if not same_node(rank, t)]
+        # The node split is not plain range arithmetic, so this variant
+        # keeps materialized lists (O(n) per rank; only the distmem-hier
+        # algorithm pays it, and it is not part of the E11 scale runs).
+        self._all = self.others()
+        self._on_node = [t for t in self._all if same_node(rank, t)]
+        self._off_node = [t for t in self._all if not same_node(rank, t)]
 
     def cycle(self) -> List[int]:
         """On-node victims first, then off-node, each shuffled."""
         return self._rng.shuffled(self._on_node) + \
             self._rng.shuffled(self._off_node)
 
+    def lazy_cycle(self) -> Iterator[int]:
+        """Pay-per-probe :meth:`cycle`: lazy on-node, then lazy off-node."""
+        yield from self._lazy_shuffle(list(self._on_node))
+        yield from self._lazy_shuffle(list(self._off_node))
+
     def one(self) -> int:
         """Prefer an on-node victim half the time (if any exist)."""
         if self._on_node and self._rng.uniform(0.0, 1.0) < 0.5:
             return self._rng.choice(self._on_node)
-        return self._rng.choice(self._others)
+        return self._rng.choice(self._all)

@@ -35,3 +35,21 @@ def run_small_traced():
 def traced_small_run():
     """The traced reference run, shared by the whole obs suite."""
     return run_small_traced()
+
+
+@pytest.fixture(scope="session")
+def traced_park_run():
+    """The same configuration under ``idle_strategy="park"``.
+
+    Park mode takes a different (validated, not bit-identical)
+    schedule, so this run is traced separately; it feeds the
+    idle-gate analyses and report section.
+    """
+    from repro.ws.config import WsConfig
+
+    sink = TraceSink()
+    result = run_experiment(
+        "upc-distmem", tree=small_tree(), tracer=sink, verify=True,
+        config=WsConfig(chunk_size=4, idle_strategy="park"),
+        **{k: v for k, v in SMALL_KWARGS.items() if k != "chunk_size"})
+    return result, sink

@@ -92,3 +92,34 @@ def test_analyses_accept_empty_traces():
     assert steal_latency_histogram([]) == []
     td = termination_breakdown([], 2, 1.0)
     assert td["announce_time"] is None and td["tail_seconds"] is None
+
+
+def test_idle_summary_pairs_parks_with_wakes(traced_park_run):
+    from repro.obs import idle_summary
+    result, sink = traced_park_run
+    ids = idle_summary(sink.events(), SMALL_THREADS)
+    assert ids["total_parks"] > 0
+    assert ids["total_parks"] == sum(ids["parks"])
+    assert ids["total_parked_seconds"] == pytest.approx(
+        sum(ids["parked_seconds"]))
+    for rank in range(SMALL_THREADS):
+        # Every park is eventually answered by a wake (termination
+        # wake_all empties the gate), and never more than once.
+        assert ids["wakes"][rank] == ids["parks"][rank]
+        assert 0.0 <= ids["parked_seconds"][rank] <= result.sim_time
+    # Rank 0 starts with the whole tree: it never parks first.
+    assert ids["parks"][0] <= max(ids["parks"])
+    # Trace counters and gate counters tell the same story.
+    counts = sink.counts_by_kind()
+    assert counts["idle.park"] == ids["total_parks"]
+    assert counts["idle.wake"] == sum(ids["wakes"])
+
+
+def test_idle_summary_zero_on_polling_run(traced_small_run):
+    from repro.obs import idle_summary
+    _, sink = traced_small_run
+    ids = idle_summary(sink.events(), SMALL_THREADS)
+    assert ids["total_parks"] == 0
+    assert ids["total_parked_seconds"] == 0.0
+    assert ids["parks"] == [0] * SMALL_THREADS
+    assert ids["wakes"] == [0] * SMALL_THREADS

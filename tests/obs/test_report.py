@@ -56,3 +56,16 @@ def test_report_on_empty_trace():
     report = render_trace_report([])
     assert "# Trace report" in report
     assert "0 event(s)" in report
+
+
+def test_idle_section_present_only_in_park_mode(traced_small_run,
+                                                traced_park_run):
+    _, poll_sink = traced_small_run
+    _, park_sink = traced_park_run
+    poll_report = render_trace_report(poll_sink.events(), poll_sink.meta)
+    park_report = render_trace_report(park_sink.events(), park_sink.meta)
+    assert "## Idle gate (park mode)" not in poll_report
+    assert "## Idle gate (park mode)" in park_report
+    # The section's totals line reflects the trace counters.
+    total = park_sink.counts_by_kind()["idle.park"]
+    assert f"{total} park(s)" in park_report

@@ -1,0 +1,176 @@
+"""Bucket/calendar event queue vs. the classic heap.
+
+The whole contract of :class:`repro.sim.equeue.BucketQueue` is
+*dispatch-order equality*: for any event stream and any tie-break
+policy, the bucket backend must execute events in exactly the order the
+heap backend does.  These tests drive randomized process soups --
+including heavy same-timestamp batches, which is where tie-breaking and
+bucket boundaries actually bite -- through both backends and compare
+the full execution logs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.tiebreak import DelayTieBreak, FifoTieBreak, RandomTieBreak
+from repro.sim import SimEvent, Simulator, Timeout
+from repro.sim.equeue import DEFAULT_BUCKET_WIDTH
+
+#: Delays drawn from a tiny discrete grid so batches of simultaneous
+#: events (and exact bucket-edge collisions) occur constantly.  The
+#: grid spans values below, at, and above the default bucket width.
+_GRID_US = [0.0, 0.0, 5e-6, 20e-6, 20e-6, 35e-6, 100e-6]
+
+
+@st.composite
+def process_specs(draw):
+    n_procs = draw(st.integers(min_value=1, max_value=8))
+    return [
+        draw(st.lists(st.sampled_from(_GRID_US), min_size=0, max_size=10))
+        for _ in range(n_procs)
+    ]
+
+
+def _run(specs, queue, tie_break):
+    """Execute the soup on one backend; return the dispatch log."""
+    sim = Simulator(queue=queue, tie_break=tie_break)
+    log = []
+
+    def proc(i, steps):
+        for step, d in enumerate(steps):
+            yield Timeout(d)
+            log.append((sim.now, i, step))
+
+    for i, steps in enumerate(specs):
+        sim.spawn(proc(i, steps), name=f"T{i}")
+    final = sim.run()
+    return log, final, sim.events_processed
+
+
+@pytest.mark.parametrize("make_policy", [
+    lambda: None,
+    FifoTieBreak,
+    lambda: RandomTieBreak(1234),
+    lambda: DelayTieBreak([2, 5, 7]),
+], ids=["fifo-inline", "fifo-generic", "random", "delay"])
+@given(specs=process_specs())
+@settings(max_examples=60, deadline=None)
+def test_bucket_matches_heap_dispatch_order(make_policy, specs):
+    """Same stream, same policy => identical log on both backends."""
+    heap = _run(specs, "heap", make_policy())
+    bucket = _run(specs, "bucket", make_policy())
+    assert bucket == heap
+
+
+@given(specs=process_specs(),
+       until=st.sampled_from([10e-6, 20e-6, 33e-6, 200e-6]))
+@settings(max_examples=60, deadline=None)
+def test_bucket_matches_heap_across_until_segments(specs, until):
+    """Segmented ``run(until=)`` execution must not reorder anything.
+
+    Stopping mid-bucket and resuming exercises the bucket queue's
+    demotion path (events pushed behind the drain point of the bucket
+    currently being consumed).
+    """
+    def run_segmented(queue):
+        sim = Simulator(queue=queue)
+        log = []
+
+        def proc(i, steps):
+            for step, d in enumerate(steps):
+                yield Timeout(d)
+                log.append((sim.now, i, step))
+
+        for i, steps in enumerate(specs):
+            sim.spawn(proc(i, steps), name=f"T{i}")
+        t = until
+        while sim.queue_size:
+            sim.run(until=t)
+            t += until
+        return log
+
+    assert run_segmented("bucket") == run_segmented("heap")
+
+
+@pytest.mark.parametrize("queue", ["heap", "bucket"])
+def test_park_survives_until_segment_boundary(queue):
+    """A thread parked on a SimEvent stays parked across ``run(until=)``
+    boundaries and wakes exactly when the event fires."""
+    sim = Simulator(queue=queue)
+    gate = SimEvent(sim)
+    woke = []
+
+    def parker():
+        got = yield gate
+        woke.append((sim.now, got))
+
+    def waker():
+        yield Timeout(50e-6)
+        gate.succeed("work")
+
+    sim.spawn(parker())
+    sim.spawn(waker())
+    # Segment 1 ends before the wake: the parker holds no queue entry.
+    sim.run(until=10e-6)
+    assert woke == []
+    assert sim.now == 10e-6
+    # Segment 2 crosses the wake.
+    sim.run(until=60e-6)
+    assert woke == [(50e-6, "work")]
+
+
+@pytest.mark.parametrize("queue", ["heap", "bucket"])
+def test_interrupt_kills_parked_process(queue):
+    """``Simulator.interrupt`` is the fail-stop primitive: it must reach
+    a process that is parked on an unfired SimEvent (no pending queue
+    entry at all) and leave the engine able to run to completion."""
+    sim = Simulator(queue=queue)
+    gate = SimEvent(sim)
+    outcome = []
+
+    def parker():
+        try:
+            yield gate
+            outcome.append("woke")
+        except RuntimeError as exc:
+            outcome.append(f"killed:{exc}")
+
+    def killer(proc):
+        yield Timeout(30e-6)
+        sim.interrupt(proc, RuntimeError("fail-stop"))
+
+    proc = sim.spawn(parker())
+    sim.spawn(killer(proc))
+    final = sim.run()
+    assert outcome == ["killed:fail-stop"]
+    assert not proc.alive
+    assert proc.done.fired
+    assert final == 30e-6
+    # The gate firing later must not resurrect the corpse.
+    gate.succeed("late")
+    sim.run()
+    assert outcome == ["killed:fail-stop"]
+
+
+@pytest.mark.parametrize("queue", ["heap", "bucket"])
+def test_interrupted_parked_process_counts_as_dead(queue):
+    """After interrupting the only live process, the engine is quiescent
+    (no deadlock diagnosis, no live-process leak)."""
+    sim = Simulator(queue=queue)
+    gate = SimEvent(sim)
+
+    def parker():
+        yield gate
+
+    proc = sim.spawn(parker())
+    sim.run()  # parker parks; queue drains
+    sim.interrupt(proc, RuntimeError("die"))
+    sim.check_quiescent()  # must not raise: no live blocked process
+
+
+def test_default_width_brackets_cost_model():
+    """The default bucket width sits between the fine-grained reference
+    costs and the coarse polling periods, so neither degenerates into
+    one giant bucket."""
+    assert 1e-6 < DEFAULT_BUCKET_WIDTH < 1e-3

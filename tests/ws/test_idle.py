@@ -1,0 +1,188 @@
+"""The idle gate (``idle_strategy="park"``): unit and integration tests.
+
+Unit level: the :class:`~repro.ws.idle.IdleGate` counter machine --
+category transitions, the batched surplus wake, the termination
+``wake_all``, targeted wakes.  Integration level: park-mode runs of
+every algorithm stay deterministic, conserve nodes against the
+sequential oracle, and behave identically on both event-queue
+backends.  Config level: park is fault-free by contract.
+"""
+
+import pytest
+
+from repro.check.runner import VARIANTS, check_run
+from repro.errors import ConfigError
+from repro.sim import Simulator
+from repro.ws.algorithms.base import NO_WORK
+from repro.ws.config import WsConfig
+from repro.ws.idle import WAKE_BATCH, IdleGate
+
+
+# -- IdleGate unit ---------------------------------------------------------
+
+def make_gate(categories):
+    return IdleGate(Simulator(), categories)
+
+
+def test_seed_counts():
+    gate = make_gate([1, 0, -1, -1])
+    assert gate.n_surplus == 1
+    assert gate.n_active == 2
+    assert gate.n_parked == 0
+
+
+def test_note_is_transition_only():
+    gate = make_gate([0, 0])
+    gate.note(0, 0)  # no transition
+    assert (gate.n_surplus, gate.n_active) == (0, 2)
+    gate.note(0, 3)  # active -> surplus
+    assert (gate.n_surplus, gate.n_active) == (1, 2)
+    gate.note(0, 5)  # still surplus: no change
+    assert (gate.n_surplus, gate.n_active) == (1, 2)
+    gate.note(0, 0)  # surplus -> active
+    assert (gate.n_surplus, gate.n_active) == (0, 2)
+    gate.note(0, NO_WORK)  # active -> idle
+    assert (gate.n_surplus, gate.n_active) == (0, 1)
+
+
+def test_surplus_transition_wakes_bounded_batch_oldest_first():
+    gate = make_gate([0, -1, -1, -1, -1])
+    evs = {r: gate.park(r) for r in (1, 2, 3, 4)}
+    assert gate.n_parked == 4
+    gate.note(0, 2)  # 0 -> surplus: wake WAKE_BATCH oldest parkers
+    woken = [r for r, ev in evs.items() if ev.fired]
+    assert woken == [1, 2][:WAKE_BATCH]
+    assert gate.n_parked == 4 - WAKE_BATCH
+    assert gate.wakes == WAKE_BATCH
+
+
+def test_every_transition_into_surplus_wakes_again():
+    gate = make_gate([0, 0, -1, -1, -1, -1])
+    evs = {r: gate.park(r) for r in (2, 3, 4, 5)}
+    gate.note(0, 1)  # surplus count 0 -> 1
+    gate.note(1, 1)  # surplus count 1 -> 2: wakes another batch
+    assert all(ev.fired for ev in evs.values())
+    assert gate.n_parked == 0
+
+
+def test_last_active_going_idle_wakes_everyone():
+    gate = make_gate([0, -1, -1, -1, -1, -1])
+    evs = {r: gate.park(r) for r in (1, 2, 3, 4, 5)}
+    assert len(evs) > WAKE_BATCH  # wake_all, not a batch
+    gate.note(0, NO_WORK)
+    assert gate.n_active == 0
+    assert all(ev.fired for ev in evs.values())
+    assert gate.n_parked == 0
+    assert gate.wakes == 5
+
+
+def test_targeted_wake():
+    gate = make_gate([0, -1, -1])
+    ev1 = gate.park(1)
+    ev2 = gate.park(2)
+    gate.wake(2)
+    assert ev2.fired and not ev1.fired
+    assert gate.n_parked == 1
+    gate.wake(2)  # idempotent on a non-parked rank
+    assert gate.wakes == 1
+
+
+def test_park_counters():
+    gate = make_gate([0, -1])
+    gate.park(1)
+    gate.wake_all()
+    gate.park(1)
+    gate.wake_all()
+    assert gate.parks == 2
+    assert gate.wakes == 2
+
+
+# -- configuration contract ------------------------------------------------
+
+def test_invalid_idle_strategy_rejected():
+    with pytest.raises(ConfigError):
+        WsConfig(idle_strategy="busywait")
+
+
+def test_park_plus_faults_rejected():
+    from repro.faults.plan import parse_fault_spec
+    plan = parse_fault_spec("kill=1@0.001", seed=0)
+    with pytest.raises(ConfigError):
+        WsConfig(idle_strategy="park", faults=plan)
+
+
+def test_park_cell_with_fault_spec_is_clean_check_failure():
+    """Through the fuzz-cell API the same contract surfaces as a
+    not-ok outcome, not a crash."""
+    out = check_run("upc-distmem", threads=8, idle_strategy="park",
+                    fault_spec="kill=1@0.001")
+    assert not out.ok
+    assert out.error_type == "ConfigError"
+
+
+# -- park-mode runs: determinism, conservation, backends -------------------
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_park_runs_conserve_and_verify(variant):
+    """Every algorithm completes a park run under the invariant monitor
+    with full node-count verification (check_run verifies by default)."""
+    out = check_run(variant, threads=8, idle_strategy="park")
+    assert out.ok, out.label()
+    assert out.total_nodes > 0
+
+
+@pytest.mark.parametrize("variant", ["upc-distmem", "upc-term-rapdif"])
+def test_park_runs_are_deterministic(variant):
+    a = check_run(variant, threads=8, idle_strategy="park")
+    b = check_run(variant, threads=8, idle_strategy="park")
+    assert (a.engine_events, a.sim_time, a.total_nodes) == \
+        (b.engine_events, b.sim_time, b.total_nodes)
+
+
+def test_park_identical_across_queue_backends():
+    a = check_run("upc-distmem", threads=8, idle_strategy="park",
+                  queue="heap")
+    b = check_run("upc-distmem", threads=8, idle_strategy="park",
+                  queue="bucket")
+    assert a.ok and b.ok
+    assert (a.engine_events, a.sim_time, a.total_nodes) == \
+        (b.engine_events, b.sim_time, b.total_nodes)
+
+
+def test_sharedmem_park_is_a_noop():
+    """upc-sharedmem is already event-driven when idle: park must not
+    change its schedule at all."""
+    poll = check_run("upc-sharedmem", threads=8, idle_strategy="poll")
+    park = check_run("upc-sharedmem", threads=8, idle_strategy="park")
+    assert (poll.engine_events, poll.sim_time) == \
+        (park.engine_events, park.sim_time)
+
+
+# -- virtual poll cadence --------------------------------------------------
+
+def _naive_resume(t0, backoff, now, bmax, factor):
+    """Reference: walk the virtual tick sequence one step at a time."""
+    t, b = t0, backoff
+    while True:
+        t = t + b
+        b = min(b * factor, bmax)
+        if t >= now:
+            return t - now, b
+
+
+@pytest.mark.parametrize("t0,backoff,now", [
+    (0.0, 2e-6, 0.0),          # wake at park time: next tick ahead
+    (0.0, 2e-6, 1e-6),         # wake mid-first-tick
+    (0.0, 2e-6, 1e-3),         # long park: deep into the capped region
+    (5e-4, 200e-6, 5e-4),      # already at the cap
+    (0.0, 2e-6, 6e-6 + 1e-12), # just past a tick edge
+])
+def test_park_resume_delay_matches_naive_walk(t0, backoff, now):
+    from repro.ws.algorithms.base import AlgorithmBase
+    bmax, factor = 200e-6, 2.0
+    delay, nxt = AlgorithmBase._park_resume_delay(
+        None, t0, backoff, now, bmax, factor)
+    ndelay, nnxt = _naive_resume(t0, backoff, now, bmax, factor)
+    assert delay == pytest.approx(ndelay, abs=1e-15)
+    assert nxt == pytest.approx(nnxt)
+    assert delay >= 0.0

@@ -31,6 +31,7 @@ reported, never gated.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import hashlib
 import json
 import os
@@ -58,13 +59,20 @@ def results_checksum(runs) -> str:
     return h.hexdigest()
 
 
-def measure(figure: str, scale: str) -> dict:
+def measure(figure: str, scale: str, threads: int = None) -> dict:
     """One serial (jobs=1), cache-on sweep; per-variant events/sec."""
     setup = setup_for(figure, scale)
+    if threads is not None:
+        setup = dataclasses.replace(setup, thread_counts=[threads])
     t0 = time.perf_counter()
     sweep = run_sweep(setup, jobs=1)
     wall = time.perf_counter() - t0
     events = sum(r.engine_events for r in sweep.runs)
+    # Phase split: each run's host_seconds covers machine.run() only,
+    # so the residual is per-run setup (tree lookup, machine and
+    # algorithm construction, spawns) plus sweep bookkeeping -- the
+    # part that scales with thread count even when the schedule doesn't.
+    run_seconds = sum(r.host_seconds for r in sweep.runs)
     per_variant: dict = {}
     for r in sweep.runs:
         v = per_variant.setdefault(
@@ -78,6 +86,8 @@ def measure(figure: str, scale: str) -> dict:
             if v["host_seconds"] > 0 else None
     return {
         "wall_seconds": round(wall, 3),
+        "run_seconds": round(run_seconds, 3),
+        "setup_seconds": round(wall - run_seconds, 3),
         "runs": len(sweep.runs),
         "engine_events": events,
         "events_per_sec": round(events / wall, 1),
@@ -90,6 +100,11 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--figure", default="fig4")
     ap.add_argument("--scale", default="quick")
+    ap.add_argument("--threads", type=int, default=None,
+                    help="override the figure's thread counts with one "
+                         "value (ad-hoc scaling probes; --check compares "
+                         "against the committed default-threads baseline, "
+                         "so combine them only deliberately)")
     ap.add_argument("--out", default="BENCH_engine.json")
     ap.add_argument("--record-seed", action="store_true",
                     help="store this measurement as the seed_serial "
@@ -99,6 +114,10 @@ def main(argv=None) -> int:
                          "vs the committed baseline (wall-clock is "
                          "reported, not gated)")
     args = ap.parse_args(argv)
+    if args.threads is not None and args.out == "BENCH_engine.json":
+        # An off-baseline probe must not clobber the committed gate file.
+        args.out = f"BENCH_engine_t{args.threads}.json"
+        print(f"--threads override: writing to {args.out}")
 
     committed = None
     if os.path.exists(args.out):
@@ -107,8 +126,10 @@ def main(argv=None) -> int:
 
     print(f"benchmarking engine on {args.figure}[{args.scale}] "
           "serial sweep", flush=True)
-    current = measure(args.figure, args.scale)
+    current = measure(args.figure, args.scale, threads=args.threads)
     print(f"engine: {current['wall_seconds']:.1f}s "
+          f"(run {current['run_seconds']:.1f}s + setup "
+          f"{current['setup_seconds']:.1f}s) "
           f"{current['events_per_sec']:.0f} events/sec", flush=True)
 
     if args.record_seed or committed is None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import dataclasses
 import os
 import pstats
 import sys
@@ -37,6 +38,9 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--figure", default="fig4")
     ap.add_argument("--scale", default="quick")
+    ap.add_argument("--threads", type=int, default=None,
+                    help="override the figure's thread counts with one "
+                         "value (profile scaling hot paths, e.g. 1024)")
     ap.add_argument("--top", type=int, default=25,
                     help="number of functions to print (default 25)")
     ap.add_argument("--sort", default="tottime",
@@ -48,6 +52,8 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     setup = setup_for(args.figure, args.scale)
+    if args.threads is not None:
+        setup = dataclasses.replace(setup, thread_counts=[args.threads])
     print(f"profiling {setup.describe()} (serial, cache on)", flush=True)
 
     profiler = cProfile.Profile()
