@@ -22,7 +22,8 @@ Driver: ``tools/check_schedules.py``.  Catalog and workflow:
 """
 
 from repro.check.invariants import InvariantMonitor
-from repro.check.runner import VARIANTS, CheckOutcome, check_run
+from repro.check.runner import (VARIANTS, CheckOutcome, check_run,
+                               check_service_run)
 from repro.check.shrink import ShrinkResult, reproducer_source, shrink
 from repro.check.tiebreak import DelayTieBreak, FifoTieBreak, RandomTieBreak
 
@@ -35,6 +36,7 @@ __all__ = [
     "ShrinkResult",
     "VARIANTS",
     "check_run",
+    "check_service_run",
     "reproducer_source",
     "shrink",
 ]

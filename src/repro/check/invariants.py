@@ -15,6 +15,11 @@ I1  Node conservation (global), closed over steals-in-flight::
         sum(total_nodes) == sum(pushes) - sum(pops)
                             - sum(stolen_from_me) - lost_from_stacks
 
+    On service runs (``algo.service`` present) the same idea extends
+    to tasks: ``admitted == completed + lost + shed + in-system`` at
+    every emit, where in-system covers queued, retrying, running, and
+    blocked-at-the-door tasks.
+
 I2  Per-stack shared-region ledger (live ranks)::
 
         shared_nodes == released - reacquired - stolen_from_me
@@ -47,9 +52,10 @@ __all__ = ["InvariantMonitor"]
 #: Emits that mark a protocol transition worth a full ownership scan
 #: (cheap emits like ``visit`` fall back to the periodic scan).
 _SCAN_KINDS = frozenset({"steal", "service", "chunk.get"})
-#: Emits that declare (or relay) global termination.
+#: Emits that declare (or relay) global termination.  ``service.close``
+#: is the open-system analogue: the stream's exact drain declaration.
 _TERM_KINDS = frozenset({"sbarrier.announce", "cbarrier.terminate",
-                         "mpi.term"})
+                         "mpi.term", "service.close"})
 #: Emits after which a rank's lock holdings are forgiven (fail-stop).
 _DEATH_KINDS = frozenset({"fault.kill", "sim.interrupt"})
 
@@ -180,6 +186,21 @@ class InvariantMonitor:
                     f"loss attribution: {faults.counters.lost_nodes} lost "
                     f"node(s) but on_stack={on_stack} "
                     f"+ in_flight={in_flight}")
+        svc = getattr(algo, "service", None)
+        if svc is not None:
+            # I1, extended over the open system: every admitted task is
+            # in exactly one state at every observable instant.
+            accounted = (svc.completed + svc.lost_tasks + svc.shed_total
+                         + svc.in_system)
+            if svc.admitted != accounted:
+                self._fail(
+                    time, kind,
+                    f"task conservation: admitted {svc.admitted} != "
+                    f"completed({svc.completed}) + lost({svc.lost_tasks}) "
+                    f"+ shed({svc.shed_total}) + queued({len(svc.queue)}) "
+                    f"+ retrying({svc.retry_pending}) "
+                    f"+ running({svc.running}) "
+                    f"+ blocked({svc.door_blocked})")
         self.checks += 1
 
     def _scan_ownership(self, time: float, kind: str) -> None:
@@ -247,6 +268,15 @@ class InvariantMonitor:
             self._fail(time, kind,
                        f"T{thread} declared termination with "
                        f"{algo.in_flight_nodes} node(s) in flight")
+        svc = getattr(algo, "service", None)
+        if svc is not None and svc.in_system:
+            self._fail(time, kind,
+                       f"T{thread} declared termination with "
+                       f"{svc.in_system} task(s) still in the system "
+                       f"(queue={len(svc.queue)} "
+                       f"retrying={svc.retry_pending} "
+                       f"running={svc.running} "
+                       f"blocked={svc.door_blocked})")
         world = getattr(algo, "world", None)
         if world is not None:
             for rank, pending in enumerate(world._pending):

@@ -22,7 +22,7 @@ from repro.errors import ReproError
 from repro.check.invariants import InvariantMonitor
 from repro.check.tiebreak import DelayTieBreak, RandomTieBreak
 
-__all__ = ["CheckOutcome", "check_run", "VARIANTS"]
+__all__ = ["CheckOutcome", "check_run", "check_service_run", "VARIANTS"]
 
 #: Every registered algorithm label, figure order then extensions.
 VARIANTS = ("upc-sharedmem", "upc-term", "upc-term-rapdif",
@@ -123,6 +123,77 @@ def check_run(
         )
     return CheckOutcome(
         ok=True, variant=variant,
+        engine_events=res.engine_events, total_nodes=res.total_nodes,
+        sim_time=res.sim_time, lost_work=res.lost_work,
+        monitor=monitor.summary(),
+    )
+
+
+def check_service_run(
+    *,
+    threads: int = 8,
+    chunk_size: int = 2,
+    preset: str = "kittyhawk",
+    arrival_spec: str = "poisson:rate=8e5",
+    n_tasks: int = 120,
+    queue_capacity: int = 16,
+    policy: str = "shed-oldest",
+    deadline: float = 150e-6,
+    max_retries: int = 2,
+    service_seed: int = 3,
+    seed: int = 0,
+    schedule_seed: Optional[int] = None,
+    defer: Sequence[int] = (),
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
+    max_events: int = 500_000,
+    idle_strategy: str = "park",
+    queue: str = "auto",
+) -> CheckOutcome:
+    """:func:`check_run`'s open-system sibling: one checked service cell.
+
+    The monitor's batch invariants (I1-I5) all apply -- the service
+    pool reuses the lock-based steal protocol -- plus the extended I1
+    task-conservation equation and the ``service.close`` termination
+    check.  Error folding matches :func:`check_run`: every
+    :class:`~repro.errors.ReproError` becomes a not-ok outcome.
+    """
+    from repro.faults.plan import parse_fault_spec
+    from repro.service import (ServiceConfig, parse_arrival_spec,
+                               run_service)
+    from repro.ws.config import WsConfig
+
+    if schedule_seed is not None and defer:
+        raise ValueError("schedule_seed and defer are mutually exclusive")
+    tie_break = None
+    if schedule_seed is not None:
+        tie_break = RandomTieBreak(schedule_seed)
+    elif defer:
+        tie_break = DelayTieBreak(defer)
+    plan = parse_fault_spec(fault_spec, seed=fault_seed) if fault_spec else None
+    monitor = InvariantMonitor()
+    service = ServiceConfig(
+        arrivals=parse_arrival_spec(arrival_spec), n_tasks=n_tasks,
+        queue_capacity=queue_capacity, policy=policy, deadline=deadline,
+        max_retries=max_retries, seed=service_seed)
+    cfg = WsConfig(chunk_size=chunk_size, idle_strategy=idle_strategy)
+    try:
+        res = run_service(
+            service, threads=threads, preset=preset, config=cfg, seed=seed,
+            tracer=monitor, max_events=max_events, faults=plan,
+            tie_break=tie_break, queue=queue,
+        )
+        monitor.final_check()
+    except ReproError as exc:
+        events = (monitor.machine.sim.events_processed
+                  if monitor.machine is not None else 0)
+        return CheckOutcome(
+            ok=False, variant="service-ws",
+            error_type=type(exc).__name__, error=str(exc),
+            engine_events=events, monitor=monitor.summary(),
+        )
+    return CheckOutcome(
+        ok=True, variant="service-ws",
         engine_events=res.engine_events, total_nodes=res.total_nodes,
         sim_time=res.sim_time, lost_work=res.lost_work,
         monitor=monitor.summary(),

@@ -9,7 +9,8 @@ into a :class:`~repro.pgas.machine.Machine`).
 """
 
 from repro.faults.counters import FaultCounters
-from repro.faults.plan import FaultPlan, parse_fault_spec
+from repro.faults.plan import FaultPlan, StormSpec, parse_fault_spec
 from repro.faults.runtime import FaultRuntime
 
-__all__ = ["FaultPlan", "FaultCounters", "FaultRuntime", "parse_fault_spec"]
+__all__ = ["FaultPlan", "FaultCounters", "FaultRuntime", "StormSpec",
+           "parse_fault_spec"]

@@ -24,7 +24,57 @@ from typing import Optional, Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["FaultPlan", "parse_fault_spec"]
+__all__ = ["FaultPlan", "StormSpec", "parse_fault_spec"]
+
+
+#: Fault classes a storm window may burst.  ``kill`` storms carry a
+#: victim *count*; the rate classes carry the in-window rate override.
+_STORM_CLASSES = ("kill", "drop", "dup", "delay", "stall", "stale")
+
+
+@dataclass(frozen=True)
+class StormSpec:
+    """One windowed fault burst: ``storm(kill:3@t=5ms..6ms)``.
+
+    ``kill`` storms kill ``magnitude`` (an integer count of) extra
+    ranks at substream-drawn times inside ``[t0, t1)``; rate-class
+    storms (``drop``/``dup``/``delay``/``stall``/``stale``) raise that
+    class's rate to ``magnitude`` while the simulated clock is inside
+    the window (the base rate applies outside it).
+    """
+
+    category: str
+    magnitude: float
+    t0: float
+    t1: float
+
+    def __post_init__(self) -> None:
+        if self.category not in _STORM_CLASSES:
+            raise ConfigError(
+                f"storm class {self.category!r} unknown "
+                f"(known: {', '.join(_STORM_CLASSES)})")
+        if not self.t1 > self.t0 >= 0.0:
+            raise ConfigError(
+                f"storm window [{self.t0}, {self.t1}) must be non-empty "
+                "and non-negative")
+        if self.category == "kill":
+            if self.magnitude < 1 or self.magnitude != int(self.magnitude):
+                raise ConfigError(
+                    f"kill storm count must be a positive integer, "
+                    f"got {self.magnitude}")
+        elif not 0.0 <= self.magnitude <= 1.0:
+            raise ConfigError(
+                f"{self.category} storm rate must be in [0, 1], "
+                f"got {self.magnitude}")
+
+    @property
+    def count(self) -> int:
+        """Victim count (kill storms only)."""
+        return int(self.magnitude)
+
+    def describe(self) -> str:
+        mag = self.count if self.category == "kill" else self.magnitude
+        return f"storm({self.category}:{mag}@t={self.t0:g}..{self.t1:g})"
 
 
 @dataclass(frozen=True)
@@ -67,11 +117,23 @@ class FaultPlan:
     kill_ranks: Tuple[int, ...] = ()
     kill_times: Tuple[float, ...] = ()
 
+    #: Windowed fault bursts (:class:`StormSpec`): correlated failures
+    #: clustered in time, e.g. a rack power event killing several ranks
+    #: inside one millisecond, or a congestion episode that spikes the
+    #: message-drop rate for a window.
+    storms: Tuple[StormSpec, ...] = ()
+
     # -- recovery tuning ----------------------------------------------------
     #: Initial steal-request timeout before a thief retries elsewhere.
     steal_timeout: float = 300e-6
     #: Cap for the exponentially backed-off steal timeout.
     steal_timeout_max: float = 2400e-6
+    #: Deterministic jitter fraction applied to each steal-retry
+    #: doubling (0 = none, the historical schedule).  A value ``j``
+    #: perturbs each doubled timeout by a substream-drawn factor in
+    #: ``[1 - j/2, 1 + j/2)`` before the cap, de-synchronising thieves
+    #: that timed out together during a fault storm.
+    steal_retry_jitter: float = 0.0
     #: Rank 0 relaunches the termination token after this ring silence.
     ring_timeout: float = 1500e-6
     #: Heartbeat epoch period for the failure detector.
@@ -117,6 +179,13 @@ class FaultPlan:
         for t in self.kill_times:
             if t < 0.0:
                 raise ConfigError(f"negative kill time {t}")
+        if not 0.0 <= self.steal_retry_jitter <= 1.0:
+            raise ConfigError(
+                f"steal_retry_jitter must be in [0, 1], "
+                f"got {self.steal_retry_jitter}")
+        for storm in self.storms:
+            if not isinstance(storm, StormSpec):
+                raise ConfigError(f"storms must hold StormSpec, got {storm!r}")
 
     # -- derived -------------------------------------------------------------
 
@@ -127,7 +196,33 @@ class FaultPlan:
 
     @property
     def has_kills(self) -> bool:
-        return bool(self.kill_ranks)
+        return bool(self.kill_ranks) or any(
+            s.category == "kill" for s in self.storms)
+
+    @property
+    def non_failstop_classes(self) -> Tuple[str, ...]:
+        """Fault classes in this plan beyond fail-stop + slowdown.
+
+        The parked idle path (``idle_strategy='park'``) supports
+        fail-stop kills (scheduled or storm-burst) and slow ranks; the
+        message/stall/stale classes perturb protocol state the parked
+        fast path reads without re-validation, so they stay poll-only.
+        """
+        out = []
+        if self.msg_drop_rate > 0:
+            out.append("drop")
+        if self.msg_dup_rate > 0:
+            out.append("dup")
+        if self.msg_delay_rate > 0:
+            out.append("delay")
+        if self.lock_stall_rate > 0:
+            out.append("stall")
+        if self.stale_read_rate > 0:
+            out.append("stale")
+        for s in self.storms:
+            if s.category != "kill" and s.category not in out:
+                out.append(s.category)
+        return tuple(out)
 
     @property
     def suspect_after(self) -> float:
@@ -180,6 +275,34 @@ def _parse_float(key: str, raw: str) -> float:
         raise ConfigError(f"fault spec: {key}={raw!r} is not a number") from None
 
 
+def _parse_storm(item: str) -> StormSpec:
+    """Parse ``storm(CLASS:MAG@T0..T1)`` (``t=`` before T0 optional)."""
+    body = item[len("storm("):]
+    if not body.endswith(")"):
+        raise ConfigError(f"fault spec: unterminated storm item {item!r}")
+    body = body[:-1]
+    cat, sep, rest = body.partition(":")
+    if not sep:
+        raise ConfigError(
+            f"fault spec: storm {item!r} must be "
+            "storm(CLASS:MAGNITUDE@T0..T1), e.g. storm(kill:3@t=5ms..6ms)")
+    mag_s, sep, window = rest.partition("@")
+    if not sep:
+        raise ConfigError(
+            f"fault spec: storm {item!r} is missing its @T0..T1 window")
+    window = window.strip()
+    if window.startswith("t="):
+        window = window[2:]
+    t0_s, sep, t1_s = window.partition("..")
+    if not sep:
+        raise ConfigError(
+            f"fault spec: storm window {window!r} must be T0..T1")
+    return StormSpec(category=cat.strip(),
+                     magnitude=_parse_float("storm", mag_s.strip()),
+                     t0=_parse_float("storm", t0_s.strip()),
+                     t1=_parse_float("storm", t1_s.strip()))
+
+
 def _parse_at(key: str, raw: str) -> Tuple[int, float]:
     """Parse ``RANK@VALUE`` (kill=3@0.002, slow=2@4)."""
     rank_s, sep, val_s = raw.partition("@")
@@ -202,19 +325,28 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
         drop=0.05,dup=0.02,delay=0.1
         kill=3@0.002,kill=5@0.004
         stall=0.05,stall-time=100e-6,slow=2@4
+        storm(kill:3@t=5ms..6ms),storm(drop:0.3@2ms..3ms)
 
     Keys: ``drop``/``dup``/``delay``/``stall``/``stale`` (rates),
     ``delay-max``/``stall-time``/``stale-window``/``timeout``/
     ``timeout-max``/``ring-timeout``/``heartbeat`` (seconds),
-    ``kill=RANK@TIME`` and ``slow=RANK@FACTOR`` (repeatable).
+    ``retry-jitter`` (fraction in [0, 1]), ``kill=RANK@TIME`` and
+    ``slow=RANK@FACTOR`` (repeatable), and
+    ``storm(CLASS:MAGNITUDE@T0..T1)`` windowed bursts (repeatable;
+    ``kill`` takes a victim count, rate classes take the in-window
+    rate; the ``t=`` prefix before T0 is optional).
     """
     kwargs: dict = {"seed": seed}
     kills: list = []
     slows: list = []
+    storms: list = []
     slow_factor: Optional[float] = None
     for item in spec.split(","):
         item = item.strip()
         if not item:
+            continue
+        if item.startswith("storm("):
+            storms.append(_parse_storm(item))
             continue
         key, sep, raw = item.partition("=")
         if not sep:
@@ -225,6 +357,8 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
             kwargs[_RATE_KEYS[key]] = _parse_float(key, raw)
         elif key in _TIME_KEYS:
             kwargs[_TIME_KEYS[key]] = _parse_float(key, raw)
+        elif key == "retry-jitter":
+            kwargs["steal_retry_jitter"] = _parse_float(key, raw)
         elif key == "kill":
             kills.append(_parse_at(key, raw))
         elif key == "slow":
@@ -235,7 +369,8 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
                     "fault spec: all slow= items must share one factor")
             slow_factor = factor
         else:
-            known = sorted([*_RATE_KEYS, *_TIME_KEYS, "kill", "slow"])
+            known = sorted([*_RATE_KEYS, *_TIME_KEYS, "kill", "slow",
+                            "retry-jitter", "storm(...)"])
             raise ConfigError(
                 f"fault spec: unknown key {key!r} (known: {', '.join(known)})")
     if kills:
@@ -244,4 +379,6 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
     if slows:
         kwargs["slow_ranks"] = tuple(slows)
         kwargs["slow_factor"] = slow_factor
+    if storms:
+        kwargs["storms"] = tuple(storms)
     return FaultPlan(**kwargs)

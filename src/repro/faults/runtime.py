@@ -71,6 +71,34 @@ class FaultRuntime:
         self._delay = substream(seed, "msg.delay")
         self._stall = substream(seed, "lock.stall")
         self._stale = substream(seed, "shared.stale")
+        self._retry = substream(seed, "steal.retry")
+        # Storm expansion.  Kill storms draw their victims and kill
+        # times from a dedicated substream at construction, so the
+        # schedule is part of the plan's deterministic identity; rate
+        # storms are applied as windowed overrides at roll time.
+        self._rate_storms = tuple(
+            s for s in plan.storms if s.category != "kill")
+        kill_ranks = list(plan.kill_ranks)
+        kill_times = list(plan.kill_times)
+        storm_rng = substream(seed, "storm.kill")
+        for s in plan.storms:
+            if s.category != "kill":
+                continue
+            pool = [r for r in range(1, n) if r not in kill_ranks]
+            if s.count > len(pool):
+                raise ConfigError(
+                    f"{s.describe()} wants {s.count} victim(s) but only "
+                    f"{len(pool)} killable rank(s) remain (rank 0 and "
+                    "already-scheduled victims are excluded)")
+            for _ in range(s.count):
+                victim = pool.pop(storm_rng.next_u64() % len(pool))
+                kill_ranks.append(victim)
+                kill_times.append(s.t0 + storm_rng.random() * (s.t1 - s.t0))
+        #: Full fail-stop schedule: plan kills + expanded storm kills.
+        self.kill_schedule = tuple(zip(kill_ranks, kill_times))
+        #: Optional loss observer (e.g. the service workload taints
+        #: tasks whose nodes died); called with every lost-node batch.
+        self.on_lost = None
         # Failure-detector state.
         self.dead: set[int] = set()
         self.last_beat = [0.0] * n
@@ -106,7 +134,20 @@ class FaultRuntime:
 
     @property
     def watching_deaths(self) -> bool:
-        return self.plan.has_kills
+        return bool(self.kill_schedule)
+
+    def _rate(self, category: str, base: float) -> float:
+        """Effective rate for ``category`` now: base, or a storm override.
+
+        Only consulted when the plan carries rate-class storms, so
+        storm-free plans keep the exact historical draw sequence.
+        """
+        now = self.machine.sim.now
+        for s in self._rate_storms:
+            if s.category == category and s.t0 <= now < s.t1:
+                if s.magnitude > base:
+                    base = s.magnitude
+        return base
 
     # -- message faults ----------------------------------------------------
 
@@ -119,23 +160,30 @@ class FaultRuntime:
             self.algo.on_msg_to_dead(msg)
             return []
         plan = self.plan
-        if (plan.msg_drop_rate > 0.0
+        drop_rate = plan.msg_drop_rate
+        delay_rate = plan.msg_delay_rate
+        dup_rate = plan.msg_dup_rate
+        if self._rate_storms:
+            drop_rate = self._rate("drop", drop_rate)
+            delay_rate = self._rate("delay", delay_rate)
+            dup_rate = self._rate("dup", dup_rate)
+        if (drop_rate > 0.0
                 and msg.tag in self.algo.droppable_tags
-                and self._drop.chance(plan.msg_drop_rate)):
+                and self._drop.chance(drop_rate)):
             self.counters.msgs_dropped += 1
             self._trace(msg.dst, "fault.drop", f"src=T{msg.src} tag={msg.tag}")
             return []
-        if (plan.msg_delay_rate > 0.0
-                and self._delay.chance(plan.msg_delay_rate)):
+        if (delay_rate > 0.0
+                and self._delay.chance(delay_rate)):
             extra = self._delay.uniform(0.0, plan.msg_delay_max)
             msg = replace(msg, arrival_time=msg.arrival_time + extra)
             self.counters.msgs_delayed += 1
             self._trace(msg.dst, "fault.delay",
                         f"src=T{msg.src} tag={msg.tag} extra={extra:g}")
         out = [msg]
-        if (plan.msg_dup_rate > 0.0
+        if (dup_rate > 0.0
                 and msg.tag in self.algo.duplicable_tags
-                and self._dup.chance(plan.msg_dup_rate)):
+                and self._dup.chance(dup_rate)):
             late = self._dup.uniform(0.0, plan.msg_delay_max)
             out.append(replace(msg, arrival_time=msg.arrival_time + late))
             self.counters.msgs_duplicated += 1
@@ -151,7 +199,10 @@ class FaultRuntime:
         the roll itself is rank-independent.
         """
         plan = self.plan
-        if plan.lock_stall_rate > 0.0 and self._stall.chance(plan.lock_stall_rate):
+        rate = plan.lock_stall_rate
+        if self._rate_storms:
+            rate = self._rate("stall", rate)
+        if rate > 0.0 and self._stall.chance(rate):
             self.counters.lock_stalls += 1
             self._trace(rank, "fault.stall", f"t={plan.lock_stall_time:g}")
             return plan.lock_stall_time
@@ -160,7 +211,10 @@ class FaultRuntime:
     def on_staleable_write(self, var) -> None:
         """Maybe open a stale-visibility window over ``var``'s old value."""
         plan = self.plan
-        if plan.stale_read_rate > 0.0 and self._stale.chance(plan.stale_read_rate):
+        rate = plan.stale_read_rate
+        if self._rate_storms:
+            rate = self._rate("stale", rate)
+        if rate > 0.0 and self._stale.chance(rate):
             var.stale_value = var.value
             var.stale_until = self.machine.sim.now + plan.stale_read_window
             self.counters.stale_windows += 1
@@ -186,6 +240,29 @@ class FaultRuntime:
             self.counters.heartbeat_suspicions += 1
             self._trace(rank, "fault.suspect", f"T{rank}")
         return True
+
+    # -- steal-retry backoff -----------------------------------------------
+
+    def next_steal_timeout(self, current: float) -> float:
+        """Next steal-retry timeout: double, jitter, then hard-cap.
+
+        Centralises the retry schedule so no protocol can back off past
+        ``plan.steal_timeout_max`` -- under a fault storm a thief may be
+        refused for the whole window, and an uncapped doubling would
+        push its next probe beyond the simulation horizon.  With
+        ``steal_retry_jitter > 0`` each doubling is perturbed by a
+        substream draw (deterministic, seed-reproducible) so thieves
+        that timed out together spread their retries; the default 0.0
+        reproduces the historical ``min(2x, cap)`` schedule exactly and
+        consumes no draws.
+        """
+        plan = self.plan
+        nxt = current * 2.0
+        jitter = plan.steal_retry_jitter
+        if jitter > 0.0:
+            nxt *= 1.0 + jitter * (self._retry.random() - 0.5)
+        cap = plan.steal_timeout_max
+        return cap if nxt > cap else nxt
 
     # -- work-transfer journal ---------------------------------------------
 
@@ -237,6 +314,8 @@ class FaultRuntime:
             self._lost_in_flight_nodes += len(nodes)
             self.counters.lost_nodes_in_flight += len(nodes)
         self._trace(-1, "fault.lost", f"nodes={len(nodes)}")
+        if self.on_lost is not None:
+            self.on_lost(nodes)
 
     def on_thread_death(self, rank: int) -> None:
         """Account a fail-stopped thread's work; keep the ledger exact.
@@ -272,6 +351,12 @@ class FaultRuntime:
         # Advertise NO_WORK so probes route around the corpse, and free
         # any lock the corpse held or queued for.
         algo.work_avail[rank].poke(_NO_WORK)
+        # Under idle_strategy='park' the corpse must leave the gate's
+        # category counters: a dead rank can neither be woken nor keep
+        # n_active inflated (which would starve the wake_all-on-drain).
+        gate = getattr(algo, "_gate", None)
+        if gate is not None:
+            gate.on_death(rank)
         for lk in self.machine._locks:
             lk.on_thread_death(rank)
         algo.on_thread_death(rank)
@@ -363,9 +448,9 @@ class FaultRuntime:
                 self.check_conservation()
                 yield Timeout(self.plan.check_period)
 
-        for rank, t_kill in zip(self.plan.kill_ranks, self.plan.kill_times):
+        for rank, t_kill in self.kill_schedule:
             sim.spawn(kill_watch(rank, t_kill), name=f"faults.kill[T{rank}]")
-        if self.plan.has_kills:
+        if self.kill_schedule:
             for rank in range(self.machine.n_threads):
                 sim.spawn(heartbeat(rank), name=f"faults.beat[T{rank}]")
         sim.spawn(checker(), name="faults.checker")

@@ -86,6 +86,57 @@ def build_parser() -> argparse.ArgumentParser:
                 help="sweep worker processes (default: $REPRO_JOBS or 1; "
                      "0 = one per CPU); results are identical for any N")
 
+    srv = sub.add_parser(
+        "serve",
+        help="open-system service run: a continuous task stream over "
+             "the pool (see docs/service-mode.md)")
+    srv.add_argument(
+        "--arrivals", metavar="SPEC", default="poisson:rate=1e5",
+        help="arrival process, e.g. 'poisson:rate=2e5', "
+             "'bursty:rate=2e5,burst=8,p=0.1', "
+             "'diurnal:rate=2e5,period=2ms,depth=0.8'")
+    srv.add_argument("--tasks", type=int, default=200,
+                     help="tasks the stream generates (finite horizon)")
+    srv.add_argument("--threads", type=int, default=64)
+    srv.add_argument("--chunk-size", type=int, default=2)
+    srv.add_argument("--preset", choices=sorted(PRESETS), default="kittyhawk")
+    srv.add_argument("--queue-capacity", type=int, default=64,
+                     help="bounded admission-queue capacity")
+    srv.add_argument("--policy",
+                     choices=["block", "shed-oldest", "shed-newest"],
+                     default="block",
+                     help="backpressure when the admission queue is full")
+    srv.add_argument("--deadline", type=float, default=0.0, metavar="SEC",
+                     help="per-attempt queue deadline in simulated seconds "
+                          "(0 = none)")
+    srv.add_argument("--max-retries", type=int, default=2,
+                     help="re-admissions after deadline expiry before a "
+                          "task is shed")
+    srv.add_argument("--task-b0", type=int, default=4)
+    srv.add_argument("--task-q", type=float, default=0.45)
+    srv.add_argument("--task-gran", type=int, default=1,
+                     help="per-node compute granularity of each task")
+    srv.add_argument("--service-seed", type=int, default=0,
+                     help="seed for arrivals, task roots, and retry jitter")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="machine seed (probe orders)")
+    srv.add_argument("--idle-strategy", choices=["poll", "park"],
+                     default="park",
+                     help="'park' (default: arrivals wake a parked pool) "
+                          "or 'poll'")
+    srv.add_argument("--queue", dest="event_queue",
+                     choices=["auto", "heap", "bucket"], default="auto",
+                     help="event-queue backend (identical results)")
+    srv.add_argument("--faults", metavar="SPEC", default=None,
+                     help="fault spec; storms supported, e.g. "
+                          "'storm(kill:3@t=5ms..6ms)'")
+    srv.add_argument("--fault-seed", type=int, default=0, metavar="N")
+    srv.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a structured trace (format per "
+                          "--trace-format / extension)")
+    srv.add_argument("--trace-format",
+                     choices=["chrome", "jsonl", "report"], default=None)
+
     tl = sub.add_parser("timeline", help="render per-thread execution timeline")
     tl.add_argument("--algorithm", choices=sorted(ALGORITHMS),
                     default="upc-distmem")
@@ -178,6 +229,51 @@ def _run_single(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, parse_arrival_spec, run_service
+    from repro.ws.config import WsConfig
+
+    plan = None
+    if args.faults:
+        from repro.faults import parse_fault_spec
+
+        plan = parse_fault_spec(args.faults, seed=args.fault_seed)
+    sink = None
+    if args.trace:
+        from repro.obs import TraceSink
+
+        sink = TraceSink()
+    service = ServiceConfig(
+        arrivals=parse_arrival_spec(args.arrivals), n_tasks=args.tasks,
+        queue_capacity=args.queue_capacity, policy=args.policy,
+        deadline=args.deadline, max_retries=args.max_retries,
+        task_b0=args.task_b0, task_q=args.task_q, task_gran=args.task_gran,
+        seed=args.service_seed)
+    config = WsConfig(chunk_size=args.chunk_size,
+                      idle_strategy=args.idle_strategy)
+    res = run_service(service, threads=args.threads, preset=args.preset,
+                      config=config, seed=args.seed, faults=plan,
+                      tracer=sink, queue=args.event_queue)
+    print(res.summary())
+    print(f"arrivals: {res.arrival_description}   "
+          f"tasks: {res.service_description}")
+    print(f"latency p50/p95/p99/max: {res.lat_p50 * 1e6:.1f} / "
+          f"{res.lat_p95 * 1e6:.1f} / {res.lat_p99 * 1e6:.1f} / "
+          f"{res.lat_max * 1e6:.1f} µs   goodput: {res.goodput:,.0f} tasks/s")
+    if res.shed_total:
+        shed = " ".join(f"{k}={v}" for k, v in sorted(res.shed.items()) if v)
+        print(f"shed: {shed} ({100 * res.shed_fraction:.1f}% of admitted)")
+    if res.fault_counters is not None:
+        print(f"lost: {res.lost_tasks} task(s), {res.lost_work} node(s)")
+        nz = res.fault_counters.nonzero()
+        if nz:
+            print("fault counters: "
+                  + " ".join(f"{k}={v}" for k, v in sorted(nz.items())))
+    if sink is not None:
+        _write_trace(args, sink)
+    return 0
+
+
 def _suffixed(path: str, name: str) -> str:
     """results/full.json -> results/full_fig4.json (for `all` runs)."""
     from pathlib import Path
@@ -208,6 +304,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmd = args.command
     if cmd == "run":
         return _run_single(args)
+    if cmd == "serve":
+        return _run_serve(args)
     if cmd in ("fig4", "fig5", "fig6"):
         return _run_figure(cmd, args)
     if cmd == "ablation":

@@ -38,6 +38,7 @@ Example (no simulation needed -- a sink accepts events directly):
 
 from repro.obs.analysis import (
     idle_summary,
+    service_summary,
     state_occupancy,
     steal_latencies,
     steal_latency_histogram,
@@ -67,5 +68,6 @@ __all__ = [
     "steal_latency_histogram",
     "termination_breakdown",
     "idle_summary",
+    "service_summary",
     "render_trace_report",
 ]

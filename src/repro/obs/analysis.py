@@ -32,6 +32,7 @@ __all__ = [
     "steal_latency_histogram",
     "termination_breakdown",
     "idle_summary",
+    "service_summary",
 ]
 
 #: Steal outcomes that close a ``steal.req`` transaction on the thief.
@@ -167,6 +168,50 @@ def idle_summary(events: List[ObsEvent], n_threads: Optional[int] = None
         "total_parks": sum(parks),
         "total_parked_seconds": sum(parked),
     }
+
+
+def service_summary(events: List[ObsEvent]) -> Dict[str, object]:
+    """Open-system lifecycle rollup from the ``task.*`` events.
+
+    Returns counts per lifecycle stage (``arrived`` / ``admitted`` /
+    ``started`` / ``completed`` / ``lost``), sheds broken down by
+    reason, retry count, queue-wait and latency lists (seconds, in
+    completion order), the peak admitted-queue depth observed in
+    ``task.admit`` events, and the ``service.close`` time (None if the
+    trace ended before the stream drained).  All zeros / empty on a
+    batch run -- the kinds are simply absent.
+    """
+    sheds: Dict[str, int] = {}
+    out: Dict[str, object] = {
+        "arrived": 0, "admitted": 0, "started": 0, "completed": 0,
+        "lost": 0, "retries": 0, "sheds": sheds, "queue_peak": 0,
+        "waits": [], "latencies": [], "close_time": None,
+    }
+    for ev in events:
+        kind = ev.kind
+        if kind == "task.arrive":
+            out["arrived"] += 1
+        elif kind == "task.admit":
+            out["admitted"] += 1
+            depth = ev.args.get("depth", 0)
+            if depth > out["queue_peak"]:
+                out["queue_peak"] = depth
+        elif kind == "task.start":
+            out["started"] += 1
+            out["waits"].append(ev.args.get("wait", 0.0))
+        elif kind == "task.done":
+            out["completed"] += 1
+            out["latencies"].append(ev.args.get("lat", 0.0))
+        elif kind == "task.lost":
+            out["lost"] += 1
+        elif kind == "task.retry":
+            out["retries"] += 1
+        elif kind == "task.shed":
+            reason = ev.args.get("reason", "?")
+            sheds[reason] = sheds.get(reason, 0) + 1
+        elif kind == "service.close" and out["close_time"] is None:
+            out["close_time"] = ev.time
+    return out
 
 
 def termination_breakdown(events: List[ObsEvent],

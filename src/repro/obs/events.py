@@ -93,6 +93,22 @@ EVENT_SCHEMA: Dict[str, str] = {
                               "sequence; args: thief, seq",
     "recover.barrier_death": "counted barrier completed by death "
                              "accounting; args: count",
+    # -- service mode (open-system driver, rank -1 = control plane) ----
+    "task.arrive": "a query task arrived at the admission door; args: task",
+    "task.admit": "task entered the bounded queue; args: task, depth "
+                  "(queue depth after)",
+    "task.shed": "task dropped by backpressure or deadline exhaustion; "
+                 "args: task, reason (oldest|newest|deadline)",
+    "task.retry": "queued task expired its attempt deadline and was "
+                  "scheduled for re-admission; args: task, attempt, backoff",
+    "task.start": "a worker pulled the task and pushed its root; "
+                  "args: task, wait (queue wait this attempt)",
+    "task.done": "task's subtree fully visited; args: task, nodes, lat "
+                 "(first-arrival-to-completion latency)",
+    "task.lost": "task drained but lost nodes to a fail-stop fault; "
+                 "args: task, nodes (visited before the loss)",
+    "service.close": "service drained: arrivals done and no task left "
+                     "in the system; args: admitted, completed, shed, lost",
     # -- engine --------------------------------------------------------
     "sim.interrupt": "a process was interrupted (fail-stop primitive); "
                      "detail: process name",

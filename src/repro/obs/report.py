@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional
 from repro.metrics.states import STATES
 from repro.obs.analysis import (
     idle_summary,
+    service_summary,
     state_occupancy,
     steal_latencies,
     steal_latency_histogram,
@@ -151,6 +152,41 @@ def _idle_section(events: List[ObsEvent], n_threads: int) -> List[str]:
     return lines + [""]
 
 
+def _percentile_row(values: List[float]) -> str:
+    from repro.service.result import percentile
+    vs = sorted(values)
+    return (f"{_fmt_us(percentile(vs, 50.0))} | "
+            f"{_fmt_us(percentile(vs, 95.0))} | "
+            f"{_fmt_us(percentile(vs, 99.0))} | {_fmt_us(vs[-1])}")
+
+
+def _service_section(events: List[ObsEvent]) -> List[str]:
+    svc = service_summary(events)
+    if svc["arrived"] == 0:
+        return []
+    sheds = svc["sheds"]
+    shed_total = sum(sheds.values())
+    shed_txt = ", ".join(f"{k}={v}" for k, v in sorted(sheds.items())) \
+        if sheds else "none"
+    lines = ["## Service (open-system stream)", "",
+             f"{svc['arrived']} task(s) arrived; "
+             f"{svc['completed']} completed, {shed_total} shed "
+             f"({shed_txt}), {svc['lost']} lost to faults, "
+             f"{svc['retries']} deadline retries; "
+             f"peak queue depth {svc['queue_peak']}."]
+    if svc["close_time"] is not None:
+        lines.append(f"Stream drained (`service.close`) at "
+                     f"{_fmt_us(svc['close_time'])} µs.")
+    lines += ["", "| metric (µs) | p50 | p95 | p99 | max |",
+              "|---|---|---|---|---|"]
+    if svc["waits"]:
+        lines.append(f"| queue wait | {_percentile_row(svc['waits'])} |")
+    if svc["latencies"]:
+        lines.append(f"| task latency | "
+                     f"{_percentile_row(svc['latencies'])} |")
+    return lines + [""]
+
+
 def _fault_section(events: List[ObsEvent]) -> List[str]:
     counts = Counter(e.kind for e in events
                      if e.kind.startswith(("fault.", "recover.")))
@@ -192,5 +228,6 @@ def render_trace_report(events: List[ObsEvent],
     lines += _latency_section(events)
     lines += _termination_section(events, n_threads, sim_time)
     lines += _idle_section(events, n_threads)
+    lines += _service_section(events)
     lines += _fault_section(events)
     return "\n".join(lines)

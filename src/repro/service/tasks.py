@@ -1,0 +1,110 @@
+"""The service workload: many small, independent subtree searches.
+
+One :class:`ServiceWorkload` wraps a single (subcritical binomial)
+:class:`~repro.uts.tree.Tree` shape and mints one *root* per admitted
+task, each with its own substream-derived RNG state -- so task sizes
+vary realistically around the shape's expected size while staying
+bit-reproducible.  Workload nodes are ``(task_id, inner_node)`` tuples:
+the same hashable plain-tuple protocol every algorithm (and the I3
+ownership scanner) already speaks, with the task identity riding along
+so completion and loss can be attributed to exactly one task.
+
+The workload also keeps the per-task outstanding-node count: it is
+decremented-and-checked inside :meth:`children` (called synchronously
+inside a worker's visit batch, so the update is atomic between yields),
+which is how a task's *drain* -- the open-system analogue of
+termination detection, scoped to one task -- is detected without any
+extra protocol traffic.  Fail-stop losses route through
+:meth:`on_nodes_lost` (wired as ``FaultRuntime.on_lost``): a lost node
+taints its task and still counts toward the drain, so a stormed run
+ends with every admitted task accounted as completed, shed, or lost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.rng import substream_seed
+from repro.uts.params import TreeParams
+from repro.uts.tree import Tree
+
+__all__ = ["ServiceWorkload"]
+
+#: The pool bootstrap node: AlgorithmBase seeds T0's stack with
+#: ``root()`` unconditionally; the bootstrap expands to nothing and is
+#: excluded from task/node accounting (task id -1 is never minted).
+_BOOTSTRAP = (-1, (-1, -1))
+
+
+class ServiceWorkload:
+    """Task-aware search space over one inner tree shape."""
+
+    def __init__(self, inner_params: TreeParams, seed: int = 0) -> None:
+        self.inner = Tree(inner_params)
+        #: AlgorithmBase reads ``params.compute_granularity`` for the
+        #: per-node visit time; expose the inner shape's directly.
+        self.params = inner_params
+        self._seed = seed
+        #: task id -> unvisited descriptors currently in the system.
+        self.outstanding: dict = {}
+        #: task id -> nodes visited (exact per-task work).
+        self.task_nodes: dict = {}
+        #: Injected by ServiceRuntime (drain + taint callbacks).
+        self.runtime = None
+
+    def describe(self) -> str:
+        return f"service-tasks({self.inner.params.describe()})"
+
+    # -- search-space protocol ----------------------------------------------
+
+    def root(self) -> Tuple:
+        return _BOOTSTRAP
+
+    def task_root(self, tid: int) -> Tuple:
+        """Mint task ``tid``'s root node (height 0: ``b0`` children)."""
+        state = self.inner.engine.init(
+            substream_seed(self._seed, "svc.task", tid) & 0x7FFFFFFFFFFFFFFF)
+        return (tid, (state, 0))
+
+    def children(self, node: Tuple) -> List[Tuple]:
+        """Children of a workload node, with drain accounting.
+
+        Runs inside the visiting worker's batch (no yield between the
+        expansion and the bookkeeping), so the outstanding counter is
+        exact at every simulation instant.
+        """
+        tid = node[0]
+        if tid < 0:
+            return []
+        kids = self.inner.children(node[1])
+        self.task_nodes[tid] = self.task_nodes.get(tid, 0) + 1
+        left = self.outstanding[tid] + len(kids) - 1
+        if left:
+            self.outstanding[tid] = left
+            return [(tid, kid) for kid in kids]
+        del self.outstanding[tid]
+        self.runtime.on_task_drained(tid)
+        return []
+
+    # -- fault hook ----------------------------------------------------------
+
+    def on_nodes_lost(self, nodes: List[Tuple]) -> None:
+        """Fail-stop losses: taint the tasks, keep the drain exact.
+
+        A lost descriptor was never visited, so its whole subtree is
+        gone; the task can never complete and is accounted ``lost``
+        when its surviving descriptors drain.
+        """
+        runtime = self.runtime
+        out = self.outstanding
+        for node in nodes:
+            tid = node[0]
+            if tid < 0:
+                continue
+            runtime.taint(tid)
+            left = out[tid] - 1
+            if left:
+                out[tid] = left
+            else:
+                del out[tid]
+                runtime.on_task_drained(tid)

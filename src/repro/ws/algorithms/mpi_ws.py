@@ -637,7 +637,7 @@ class MpiWorkStealing(AlgorithmBase):
                           f"victim=T{outstanding[0]} reason=timeout")
                 ctx.trace("recover.steal_timeout", f"victim=T{outstanding[0]}")
                 outstanding = None
-                timeout = min(timeout * 2.0, plan.steal_timeout_max)
+                timeout = rt.next_steal_timeout(timeout)
                 progressed = True
             if progressed:
                 backoff = self.cfg.search_backoff_min

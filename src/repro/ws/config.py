@@ -95,13 +95,19 @@ class WsConfig:
                 f"{type(self.faults).__name__}"
             )
         if self.idle_strategy == "park" and self.faults is not None:
-            # A parked thread yields no events for the kill watchdog to
-            # interrupt between wakeups, and the recovery protocols
-            # assume the polling cadence; scale runs are fault-free.
-            raise ConfigError(
-                "idle_strategy='park' is fault-free only; use 'poll' "
-                "with a fault plan"
-            )
+            # Fail-stop kills (scheduled or storm-burst) and slow ranks
+            # are park-safe: Simulator.interrupt reaches parked
+            # processes and IdleGate.on_death keeps the category
+            # counters exact.  The message/stall/stale classes perturb
+            # protocol state the parked fast path reads without
+            # re-validation, so they remain poll-only.
+            bad = self.faults.non_failstop_classes
+            if bad:
+                raise ConfigError(
+                    "idle_strategy='park' supports fail-stop faults "
+                    f"only; unsupported class(es) here: {', '.join(bad)} "
+                    "(use idle_strategy='poll')"
+                )
 
     @property
     def release_threshold(self) -> int:

@@ -74,7 +74,10 @@ class IdleGate:
     """Park/unpark coordination for one machine's idle threads."""
 
     __slots__ = ("sim", "_cat", "n_surplus", "n_active", "_parked",
-                 "parks", "wakes")
+                 "parks", "wakes", "deaths")
+
+    #: Category for a fail-stopped rank: out of both counters for good.
+    DEAD = -2
 
     def __init__(self, sim: Simulator, categories: List[int]) -> None:
         """``categories`` seeds the per-rank state (one entry per rank,
@@ -89,6 +92,8 @@ class IdleGate:
         #: Lifetime counters (observability: repro.obs idle-events).
         self.parks = 0
         self.wakes = 0
+        #: Ranks removed by :meth:`on_death` (fail-stop under park).
+        self.deaths = 0
 
     # -- state tracking ----------------------------------------------------
 
@@ -98,8 +103,13 @@ class IdleGate:
         Called at every write site in the algorithms; cheap enough to
         inline there (two compares on the no-transition path).
         """
-        cat = 1 if value > 0 else (0 if value == 0 else -1)
         old = self._cat[rank]
+        if old == IdleGate.DEAD:
+            # A corpse's slot can still be poked (e.g. a thief draining
+            # its shared region mid-steal); the dead rank stays out of
+            # both counters and can never trigger wakes.
+            return
+        cat = 1 if value > 0 else (0 if value == 0 else -1)
         if cat == old:
             return
         self._cat[rank] = cat
@@ -123,6 +133,33 @@ class IdleGate:
             if self.n_active == 0:
                 # Last worker went idle: nothing will ever produce
                 # surplus again; wake everyone so termination can run.
+                self.wake_all()
+
+    def on_death(self, rank: int) -> None:
+        """Remove a fail-stopped rank from the gate permanently.
+
+        The corpse leaves both counters: it can never be woken (a dead
+        rank's park entry is discarded *without* firing, so it never
+        consumes a wake-batch slot meant for a live thief) and it can
+        never hold ``n_active`` up (which would stop the
+        wake-all-on-last-idle transition from ever firing and park the
+        survivors forever).  If the death itself empties the active
+        set, the survivors are woken here so termination can run.
+        """
+        old = self._cat[rank]
+        if old == IdleGate.DEAD:
+            return
+        self._cat[rank] = IdleGate.DEAD
+        self.deaths += 1
+        # Discard (never fire) a parked corpse's event: the kill
+        # interrupt already resumed the process with ThreadKilled, and
+        # a later succeed() would be skipped as stale anyway.
+        self._parked.pop(rank, None)
+        if old > 0:
+            self.n_surplus -= 1
+        if old >= 0:
+            self.n_active -= 1
+            if self.n_active == 0:
                 self.wake_all()
 
     # -- park / wake -------------------------------------------------------

@@ -68,7 +68,8 @@ def test_obs_surface():
         "parse_events", "to_chrome_trace", "dump_chrome_trace",
         "to_jsonl_lines", "dump_jsonl", "load_jsonl", "state_occupancy",
         "steal_matrix", "steal_latencies", "steal_latency_histogram",
-        "termination_breakdown", "idle_summary", "render_trace_report",
+        "termination_breakdown", "idle_summary", "service_summary",
+        "render_trace_report",
     }
     assert set(obs.__all__) == expected
     for name in expected:

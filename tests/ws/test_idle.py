@@ -97,6 +97,32 @@ def test_park_counters():
     assert gate.wakes == 2
 
 
+def test_death_of_parked_rank_conserves_counters():
+    """Fail-stop under park: the corpse leaves both counters, its park
+    entry is discarded without firing, and later notes are no-ops."""
+    gate = make_gate([1, 0, -1, -1])
+    ev2 = gate.park(2)
+    ev3 = gate.park(3)
+    gate.on_death(2)
+    assert gate.deaths == 1
+    assert not ev2.fired  # discarded, never woken
+    assert gate.n_parked == 1  # only rank 3 remains registered
+    assert (gate.n_surplus, gate.n_active) == (1, 2)  # idle corpse: no change
+    gate.on_death(0)  # surplus rank dies
+    assert (gate.n_surplus, gate.n_active) == (0, 1)
+    gate.note(2, 5)  # poking the corpse's slot is a no-op
+    assert (gate.n_surplus, gate.n_active) == (0, 1)
+    assert not ev3.fired
+    gate.on_death(2)  # idempotent
+    assert gate.deaths == 2
+    # Last live active rank dies: survivors must be woken for
+    # termination, and the dead stay dead.
+    gate.on_death(1)
+    assert gate.n_active == 0
+    assert ev3.fired and not ev2.fired
+    assert gate.n_parked == 0
+
+
 # -- configuration contract ------------------------------------------------
 
 def test_invalid_idle_strategy_rejected():
@@ -104,20 +130,36 @@ def test_invalid_idle_strategy_rejected():
         WsConfig(idle_strategy="busywait")
 
 
-def test_park_plus_faults_rejected():
+def test_park_plus_failstop_faults_accepted():
+    """Fail-stop (kill) and slowdown plans are supported under park:
+    the gate's on_death hook keeps the counters exact."""
     from repro.faults.plan import parse_fault_spec
     plan = parse_fault_spec("kill=1@0.001", seed=0)
-    with pytest.raises(ConfigError):
+    cfg = WsConfig(idle_strategy="park", faults=plan)
+    assert cfg.idle_strategy == "park"
+
+
+def test_park_plus_nonfailstop_faults_rejected():
+    """Message/lock/staleness fault classes still require polling; the
+    error names exactly the offending classes."""
+    from repro.faults.plan import parse_fault_spec
+    plan = parse_fault_spec("kill=1@0.001,drop=0.1,stale=0.05", seed=0)
+    with pytest.raises(ConfigError) as exc:
         WsConfig(idle_strategy="park", faults=plan)
+    assert "drop" in str(exc.value) and "stale" in str(exc.value)
+    # A storm of a rate class is rejected just like a base rate.
+    storm_plan = parse_fault_spec("storm(delay:0.5@t=1ms..2ms)", seed=0)
+    with pytest.raises(ConfigError):
+        WsConfig(idle_strategy="park", faults=storm_plan)
 
 
-def test_park_cell_with_fault_spec_is_clean_check_failure():
-    """Through the fuzz-cell API the same contract surfaces as a
-    not-ok outcome, not a crash."""
+def test_park_cell_with_kill_spec_runs_clean():
+    """Through the fuzz-cell API a park+kill cell now completes with
+    the invariant monitor green (it used to be a ConfigError)."""
     out = check_run("upc-distmem", threads=8, idle_strategy="park",
                     fault_spec="kill=1@0.001")
-    assert not out.ok
-    assert out.error_type == "ConfigError"
+    assert out.ok
+    assert out.monitor["terminations_seen"] >= 1
 
 
 # -- park-mode runs: determinism, conservation, backends -------------------

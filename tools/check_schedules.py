@@ -36,8 +36,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.check import (VARIANTS, check_run, reproducer_source,  # noqa: E402
-                         shrink)
+from repro.check import (VARIANTS, check_run, check_service_run,  # noqa: E402
+                         reproducer_source, shrink)
 
 #: Base cell every sweep point starts from (small tree: a full sweep
 #: must fit in a CI minute; see docs/correctness.md for deep budgets).
@@ -105,6 +105,53 @@ def sweep(variants, seeds, delay_budget, fault_specs, fault_seeds,
                                "mode": "delay"}
 
 
+#: Service-mode cell for the open-system invariants (extended I1 task
+#: conservation + service.close termination); storms exercise the
+#: fail-stop-under-park paths.
+SERVICE_CELL = {
+    "threads": 8,
+    "chunk_size": 2,
+    "arrival_spec": "poisson:rate=8e5",
+    "n_tasks": 120,
+    "queue_capacity": 16,
+    "policy": "shed-oldest",
+    "deadline": 150e-6,
+    "max_events": 500_000,
+}
+SERVICE_FAULT_SPECS = (None, "storm(kill:2@t=0.05ms..0.2ms)")
+
+
+def run_service_cell(cell: dict) -> dict:
+    t0 = time.perf_counter()
+    out = check_service_run(**cell)
+    return {
+        "cell": {**cell, "service": True},
+        "ok": out.ok,
+        "error_type": out.error_type,
+        "error": out.error,
+        "engine_events": out.engine_events,
+        "total_nodes": out.total_nodes,
+        "host_seconds": round(time.perf_counter() - t0, 4),
+        "monitor": out.monitor,
+    }
+
+
+def service_sweep(seeds):
+    """Service cells: canonical + random schedules, clean and stormed,
+    both idle strategies.  Small by design (rides the same CI minute)."""
+    for idle in ("park", "poll"):
+        for spec in SERVICE_FAULT_SPECS:
+            extra = {"idle_strategy": idle}
+            if spec:
+                extra.update(fault_spec=spec, fault_seed=7)
+            yield {**run_service_cell({**SERVICE_CELL, **extra}),
+                   "mode": "service"}
+            for s in range(seeds):
+                yield {**run_service_cell({**SERVICE_CELL, **extra,
+                                           "schedule_seed": s}),
+                       "mode": "service"}
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--variants", nargs="+", default=["all"],
@@ -125,6 +172,9 @@ def main(argv=None) -> int:
     ap.add_argument("--q", type=float, default=BASE_CELL["q"])
     ap.add_argument("--tree-seed", type=int, default=BASE_CELL["tree_seed"])
     ap.add_argument("--max-events", type=int, default=BASE_CELL["max_events"])
+    ap.add_argument("--service-seeds", type=int, default=3,
+                    help="random schedule seeds per service-mode cell "
+                         "(-1 = skip service cells entirely)")
     ap.add_argument("--out", default="CHECK_report.json")
     ap.add_argument("--emit-tests", metavar="DIR", default=None,
                     help="write shrunk reproducer pytest files here")
@@ -140,19 +190,28 @@ def main(argv=None) -> int:
 
     t0 = time.perf_counter()
     results, failures = [], []
-    for res in sweep(variants, args.seeds, args.delay_budget,
-                     args.fault_specs, args.fault_seeds, base_cell):
+
+    def _consume(res):
         results.append(res)
         if not res["ok"]:
             failures.append(res)
             cell = res["cell"]
-            print(f"FAIL {cell['variant']} [{res['mode']}] "
-                  f"{_cell_key(cell)}: {res['error_type']}: "
-                  f"{res['error']}", flush=True)
+            print(f"FAIL {cell.get('variant', 'service-ws')} "
+                  f"[{res['mode']}] {_cell_key(cell)}: "
+                  f"{res['error_type']}: {res['error']}", flush=True)
+
+    for res in sweep(variants, args.seeds, args.delay_budget,
+                     args.fault_specs, args.fault_seeds, base_cell):
+        _consume(res)
+    if args.service_seeds >= 0:
+        for res in service_sweep(args.service_seeds):
+            _consume(res)
 
     shrunk = []
     for res in failures:
-        if args.no_shrink:
+        if args.no_shrink or res["cell"].get("service"):
+            # Service cells have no shrinker yet; the cell dict in the
+            # report is already a small reproducer.
             continue
         try:
             sr = shrink(res["cell"])
