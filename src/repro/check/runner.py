@@ -69,6 +69,7 @@ def check_run(
     verify: bool = True,
     idle_strategy: str = "poll",
     queue: str = "auto",
+    scenario: Optional[str] = None,
 ) -> CheckOutcome:
     """Run one invariant-checked cell; never raises a protocol error.
 
@@ -81,6 +82,11 @@ def check_run(
     "bucket") extend the cell space over the O(active) engine: park
     cells fuzz the event-driven wakeup paths, and forcing a queue
     backend cross-checks dispatch order against the default.
+
+    ``scenario`` names a :data:`repro.scenarios.SCENARIOS` entry: its
+    machine preset replaces ``preset`` and its policy/speed/adversary
+    overlays are applied to the config, so every catalog scenario can
+    be fuzzed cell-for-cell like the baseline.
 
     Errors caught: every :class:`~repro.errors.ReproError` subclass --
     invariant violations, protocol assertions, deadlocks, event-budget
@@ -105,6 +111,11 @@ def check_run(
     monitor = InvariantMonitor()
     tree = TreeParams.binomial(b0=b0, m=m, q=q, seed=tree_seed)
     cfg = WsConfig(chunk_size=chunk_size, idle_strategy=idle_strategy)
+    if scenario is not None:
+        from repro.scenarios import get_scenario
+        sc = get_scenario(scenario)
+        preset = sc.preset
+        cfg = sc.apply(cfg, threads)
     try:
         res = run_experiment(
             variant, tree=tree, threads=threads, preset=preset,

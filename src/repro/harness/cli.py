@@ -47,6 +47,18 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["sha1", "sha1-pure", "splitmix"])
     run_p.add_argument("--no-verify", action="store_true")
     run_p.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="run under a catalog scenario (machine preset + policy + "
+             "adversary bundle; `repro-uts scenarios` lists them, "
+             "docs/scenarios.md documents them).  The scenario's "
+             "preset overrides --preset")
+    run_p.add_argument(
+        "--victim-policy", choices=["uniform", "hierarchical"],
+        default=None,
+        help="override the algorithm's victim-selection policy "
+             "(locality-aware 'hierarchical' probes same-node ranks "
+             "first); applied on top of any --scenario")
+    run_p.add_argument(
         "--idle-strategy", choices=["poll", "park"], default="poll",
         help="'poll' (default, canonical bit-identical schedule) or "
              "'park' (idle threads cost zero pending events -- the "
@@ -159,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", help="write the report to this path")
 
     sub.add_parser("seq", help="Sect. 4.1 sequential baseline table")
+
+    sub.add_parser("scenarios",
+                   help="list the scenario catalog (docs/scenarios.md)")
     return p
 
 
@@ -212,8 +227,20 @@ def _run_single(args: argparse.Namespace) -> int:
 
     config = WsConfig(chunk_size=args.chunk_size,
                       idle_strategy=args.idle_strategy)
+    preset = args.preset
+    if args.scenario:
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario(args.scenario)
+        preset = scenario.preset
+        config = scenario.apply(config, args.threads)
+        print(f"scenario {scenario.name}: {scenario.description}")
+    if args.victim_policy:
+        from dataclasses import replace
+
+        config = replace(config, victim_policy=args.victim_policy)
     res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
-                         preset=args.preset, config=config,
+                         preset=preset, config=config,
                          verify=not args.no_verify, faults=plan, tracer=sink,
                          queue=args.queue)
     print(res.summary())
@@ -316,6 +343,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if cmd == "seq":
         print(figures.sequential_baseline())
+        return 0
+    if cmd == "scenarios":
+        from repro.scenarios import SCENARIOS
+
+        width = max(len(n) for n in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            s = SCENARIOS[name]
+            knobs = [f"preset={s.preset}"]
+            if s.victim_policy:
+                knobs.append(f"victim={s.victim_policy}")
+            if s.speed_profile:
+                knobs.append(f"speeds={s.speed_profile}")
+            if s.adversaries:
+                knobs.append(f"adversaries={s.adversaries}")
+            print(f"{name:<{width}}  {s.description}")
+            print(f"{'':<{width}}  [{' '.join(knobs)}; "
+                  f"invariants {s.invariants}; {s.paper}]")
         return 0
     if cmd == "report":
         from repro.harness.report_md import generate_report

@@ -19,7 +19,8 @@ from __future__ import annotations
 from repro.errors import ConfigError
 from repro.net.model import NetworkModel
 
-__all__ = ["KITTYHAWK", "TOPSAIL", "ALTIX", "SHAREDMEM", "PRESETS", "get_preset"]
+__all__ = ["KITTYHAWK", "TOPSAIL", "ALTIX", "SHAREDMEM",
+           "NUMA_2X", "NUMA_8X", "PRESETS", "get_preset"]
 
 #: Kitty Hawk: Dell blades, 2x dual-core Xeon E5150 (4 ranks/node), IB/VAPI.
 KITTYHAWK = NetworkModel(
@@ -91,11 +92,38 @@ SHAREDMEM = NetworkModel(
     onnode_bandwidth=5.0e9,
 )
 
+def _numa(name: str, factor: float) -> NetworkModel:
+    """A Kitty-Hawk-derived machine with off-node costs scaled by
+    ``factor`` while on-node costs stay put -- i.e. a machine whose
+    socket/fabric *asymmetry* is ``factor`` times Kitty Hawk's.
+
+    These are the steal-cost-asymmetry scenarios (docs/scenarios.md):
+    they isolate how much a victim-selection policy's locality
+    awareness is worth as the on-node/off-node gap widens, without
+    changing the sequential rate or the on-node protocol costs.
+    """
+    return KITTYHAWK.with_overrides(
+        name=name,
+        remote_shared_ref=KITTYHAWK.remote_shared_ref * factor,
+        rdma_latency=KITTYHAWK.rdma_latency * factor,
+        msg_latency=KITTYHAWK.msg_latency * factor,
+        lock_overhead=KITTYHAWK.lock_overhead * factor,
+        home_occupancy=KITTYHAWK.home_occupancy * factor,
+    )
+
+
+#: NUMA asymmetry scenarios: off-node references cost 2x / 8x Kitty
+#: Hawk's while on-node costs are unchanged (4 ranks/node topology).
+NUMA_2X = _numa("numa-2x", 2.0)
+NUMA_8X = _numa("numa-8x", 8.0)
+
 PRESETS: dict[str, NetworkModel] = {
     "kittyhawk": KITTYHAWK,
     "topsail": TOPSAIL,
     "altix": ALTIX,
     "sharedmem": SHAREDMEM,
+    "numa-2x": NUMA_2X,
+    "numa-8x": NUMA_8X,
 }
 
 

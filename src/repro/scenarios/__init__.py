@@ -1,0 +1,24 @@
+"""Scenario & adversary registry: named machine/workload setups.
+
+A *scenario* bundles the knobs the simulator already exposes -- machine
+preset, victim/steal/termination policy keys, per-rank speed factors,
+adversarial actors -- under one name, so an experiment cell (or a CLI
+invocation) is a single string instead of a hand-assembled config.  See
+docs/scenarios.md for the catalog with motivation and invariants.
+
+>>> from repro.scenarios import get_scenario
+>>> s = get_scenario("numa-8x-locality")
+>>> s.preset, s.victim_policy
+('numa-8x', 'hierarchical')
+"""
+
+from repro.scenarios.adversaries import (ADVERSARIES, install_adversaries,
+                                         parse_adversaries, parse_adversary)
+from repro.scenarios.profiles import SPEED_PROFILES, build_speed_factors
+from repro.scenarios.registry import (SCENARIOS, Scenario, check_scenario,
+                                      get_scenario, run_scenario)
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario", "run_scenario",
+           "check_scenario", "ADVERSARIES", "parse_adversary",
+           "parse_adversaries", "install_adversaries", "SPEED_PROFILES",
+           "build_speed_factors"]

@@ -1,0 +1,209 @@
+"""The scenario registry: named machine/policy/adversary bundles.
+
+A :class:`Scenario` is declarative -- just strings naming a machine
+preset, registry policy keys, a speed profile, and an adversary
+assignment.  :meth:`Scenario.apply` overlays those onto a base
+:class:`~repro.ws.config.WsConfig` for a given thread count, and
+:func:`run_scenario` / :func:`check_scenario` run one under the normal
+driver or under the PR 5 invariant monitor.
+
+The catalog below is documented scenario-by-scenario in
+docs/scenarios.md (the CI docs job lints that every name here appears
+there).
+
+>>> from repro.scenarios.registry import get_scenario
+>>> get_scenario("hostile-mix").adversaries
+'slow:4@1;greedy@2;dup@3'
+>>> get_scenario("nope")
+Traceback (most recent call last):
+    ...
+repro.errors.ConfigError: unknown scenario 'nope'; registered: \
+['baseline', 'dup-stealers', 'greedy-thieves', 'hostile-mix', \
+'mixed-speed', 'numa-2x-locality', 'numa-2x-uniform', \
+'numa-8x-locality', 'numa-8x-uniform', 'slow-worker']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.net.model import NetworkModel
+from repro.net.presets import get_preset
+from repro.scenarios.adversaries import parse_adversaries
+from repro.scenarios.profiles import build_speed_factors
+from repro.ws.config import WsConfig
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario", "run_scenario",
+           "check_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative machine/policy/adversary bundle."""
+
+    name: str
+    #: One-line what-it-models summary (mirrored in docs/scenarios.md).
+    description: str
+    #: The motivating source (paper section or related work).
+    paper: str
+    #: Machine preset key (:data:`repro.net.presets.PRESETS`).
+    preset: str = "kittyhawk"
+    #: Policy keys overlaid on the config (None keeps the algorithm's
+    #: native policy).
+    victim_policy: Optional[str] = None
+    steal_policy: Optional[str] = None
+    termination_policy: Optional[str] = None
+    #: Speed-profile spec (:mod:`repro.scenarios.profiles`) or None.
+    speed_profile: Optional[str] = None
+    #: Adversary assignment spec (:mod:`repro.scenarios.adversaries`)
+    #: or None.
+    adversaries: Optional[str] = None
+    #: Which invariants the scenario is expected to hold (all of them,
+    #: for every scenario -- stated explicitly so the catalog can say
+    #: so per entry).
+    invariants: str = "I1-I5"
+
+    def network(self) -> NetworkModel:
+        """The scenario's machine model."""
+        return get_preset(self.preset)
+
+    def apply(self, cfg: WsConfig, threads: int) -> WsConfig:
+        """Overlay this scenario onto a base config for ``threads``
+        ranks (speed profiles and adversary ranks expand against the
+        thread count here)."""
+        kw = {}
+        if self.victim_policy is not None:
+            kw["victim_policy"] = self.victim_policy
+        if self.steal_policy is not None:
+            kw["steal_policy"] = self.steal_policy
+        if self.termination_policy is not None:
+            kw["termination_policy"] = self.termination_policy
+        if self.speed_profile is not None:
+            kw["speed_factors"] = build_speed_factors(
+                self.speed_profile, threads)
+        if self.adversaries is not None:
+            kw["adversaries"] = parse_adversaries(self.adversaries, threads)
+        return replace(cfg, **kw) if kw else cfg
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario, or ConfigError naming the catalog."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; registered: {sorted(SCENARIOS)}"
+        ) from None
+
+
+_register(Scenario(
+    name="baseline",
+    description="The paper's homogeneous Kitty Hawk cluster, native "
+                "policies, no adversaries (the pinned-schedule anchor).",
+    paper="Sect. 4.1",
+))
+
+_register(Scenario(
+    name="numa-2x-uniform",
+    description="Mild steal-cost asymmetry (off-node 2x Kitty Hawk) "
+                "with uniform-random victim selection.",
+    paper="Sect. 6.2 (locality motivation)",
+    preset="numa-2x",
+    victim_policy="uniform",
+))
+
+_register(Scenario(
+    name="numa-2x-locality",
+    description="Mild steal-cost asymmetry with locality-aware "
+                "(on-node-first) victim selection.",
+    paper="Sect. 6.2",
+    preset="numa-2x",
+    victim_policy="hierarchical",
+))
+
+_register(Scenario(
+    name="numa-8x-uniform",
+    description="Severe steal-cost asymmetry (off-node 8x) with "
+                "uniform-random victim selection.",
+    paper="Sect. 6.2",
+    preset="numa-8x",
+    victim_policy="uniform",
+))
+
+_register(Scenario(
+    name="numa-8x-locality",
+    description="Severe steal-cost asymmetry with locality-aware "
+                "victim selection (the case locality should win).",
+    paper="Sect. 6.2",
+    preset="numa-8x",
+    victim_policy="hierarchical",
+))
+
+_register(Scenario(
+    name="mixed-speed",
+    description="Heterogeneous cores: the upper half of the ranks "
+                "visit nodes 4x slower (one slow socket).",
+    paper="UTS follow-up work on heterogeneous clusters",
+    speed_profile="half-slow:4",
+))
+
+_register(Scenario(
+    name="slow-worker",
+    description="A single rank 8x slower than the rest; the balance "
+                "path must drain its releases.",
+    paper="adversarial hardening",
+    adversaries="slow:8@1",
+))
+
+_register(Scenario(
+    name="greedy-thieves",
+    description="Two ranks whose steals always take everything "
+                "available, concentrating load.",
+    paper="adversarial hardening",
+    adversaries="greedy@1,2",
+))
+
+_register(Scenario(
+    name="dup-stealers",
+    description="Two ranks that double every steal/request, stressing "
+                "the race and denial paths.",
+    paper="adversarial hardening",
+    adversaries="dup@1,2",
+))
+
+_register(Scenario(
+    name="hostile-mix",
+    description="One slow (4x), one greedy, and one duplicating rank "
+                "at once, on the NUMA-2x machine.",
+    paper="adversarial hardening",
+    preset="numa-2x",
+    adversaries="slow:4@1;greedy@2;dup@3",
+))
+
+
+def run_scenario(name: str, variant: str, *, tree, threads: int = 8,
+                 chunk_size: int = 4, verify: bool = True, **kwargs):
+    """Run one algorithm under a scenario via the normal driver."""
+    from repro.harness.runner import run_experiment
+    scenario = get_scenario(name)
+    cfg = scenario.apply(WsConfig(chunk_size=chunk_size), threads)
+    return run_experiment(variant, tree=tree, threads=threads,
+                          preset=scenario.preset, config=cfg,
+                          verify=verify, **kwargs)
+
+
+def check_scenario(name: str, variant: str, **kwargs):
+    """Run one algorithm under a scenario with the invariant monitor
+    attached (see :func:`repro.check.runner.check_run`)."""
+    from repro.check.runner import check_run
+    return check_run(variant, scenario=name, **kwargs)

@@ -39,6 +39,10 @@ class ServiceAlgorithm(LockBasedAlgorithm):
     #: Steal-half: service tasks are small subtrees, and halving spreads
     #: a hot task across ranks in O(log nodes) steals.
     steal_amount = staticmethod(steal_half)
+    #: An open system never terminates by quiescence: the drain ledger
+    #: (``service.close``) decides when workers stop, so no detector
+    #: can be plugged in.
+    termination_policies = ("none",)
 
     #: Injected by ServiceRuntime before the machine runs (also read by
     #: the invariant monitor's task-conservation check).

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Generator, List
 
-from repro.errors import ProtocolError
+from repro.errors import ConfigError, ProtocolError
 from repro.metrics.counters import ThreadStats
 from repro.metrics.states import SEARCHING, WORKING, StateTimer
 from repro.pgas.collectives import reduction_time
@@ -26,7 +26,9 @@ from repro.pgas.machine import Machine, UpcContext
 from repro.sim.engine import Timeout
 from repro.uts.tree import Tree
 from repro.ws.config import WsConfig
-from repro.ws.policies import ProbeOrder, StealAmount, steal_one
+from repro.ws.policies import StealAmount, steal_one
+from repro.ws.registry import (STEAL_AMOUNTS, TERMINATION_POLICIES,
+                               VICTIM_POLICIES)
 from repro.ws.stack import SplitStack
 
 __all__ = ["AlgorithmBase", "NO_WORK", "flatten"]
@@ -48,6 +50,14 @@ class AlgorithmBase:
     name = "abstract"
     #: How many chunks a thief takes, given the victim's availability.
     steal_amount: StealAmount = staticmethod(steal_one)
+    #: Native victim-selection policy (a
+    #: :data:`repro.ws.registry.VICTIM_POLICIES` key); overridable per
+    #: run via ``WsConfig.victim_policy``.
+    victim_policy: str = "uniform"
+    #: Termination-policy keys this algorithm can host (the first is
+    #: its native default); ``WsConfig.termination_policy`` must name
+    #: one of these.  The abstract base has no detector.
+    termination_policies: tuple = ("none",)
     #: Message tags the fault layer may drop for this algorithm.  Only
     #: the *control* channel is lossy; work payloads are delay-only
     #: (reliable transport), so dropped messages cost retries, not
@@ -71,10 +81,10 @@ class AlgorithmBase:
                               "compute_granularity", 1)
         self.t_node = machine.net.node_visit_time * granularity
         if cfg.steal_policy is not None:
-            # Ablation hook: override the algorithm's native policy.
-            from repro.ws.policies import steal_half, steal_one
-            self.steal_amount = (steal_one if cfg.steal_policy == "one"
-                                 else steal_half)
+            # Ablation hook: override the algorithm's native policy
+            # (registry lookup resolves to the same function objects
+            # the class attributes use, so ablations stay identical).
+            self.steal_amount = STEAL_AMOUNTS.get(cfg.steal_policy)
         n = machine.n_threads
         self.stacks = [SplitStack() for _ in range(n)]
         self.stats = [
@@ -103,6 +113,23 @@ class AlgorithmBase:
                                     for i in range(cfg.poll_interval + 1)]
         else:
             self._visit_timeouts = None
+        #: Heterogeneous-machine state (scenario layer).  All None/empty
+        #: on a homogeneous run: the hot paths test one attribute and
+        #: fall through to the baseline tables, so the canonical
+        #: schedule is untouched.
+        self._speed_factors = None
+        self._vt_cache: dict = {}
+        #: Per-rank steal-amount overrides (greedy-thief adversary) and
+        #: duplicating-steal ranks; None when no adversary is installed.
+        self._rank_steal = None
+        self._dup_ranks = None
+        if cfg.speed_factors is not None:
+            if len(cfg.speed_factors) != n:
+                raise ConfigError(
+                    f"speed_factors has {len(cfg.speed_factors)} "
+                    f"entries for {n} threads"
+                )
+            self._set_speed_factors(cfg.speed_factors)
         #: Lazily built per-rank rows of shared-reference costs
         #: (``row[victim] == net.shared_ref(rank, victim)``): the probe
         #: loops touch every victim each cycle, so one row build
@@ -122,8 +149,16 @@ class AlgorithmBase:
         #: per victim.
         self._wa_slots = list(self.work_avail)
         self.work_avail[0].poke(0)
+        #: Victim selection is a registry plug-in: the config key wins,
+        #: else the algorithm's native policy.  The uniform factory
+        #: builds the same ProbeOrder objects (no RNG draws at
+        #: construction), so the default schedule is bit-identical.
+        victim_factory = VICTIM_POLICIES.get(
+            cfg.victim_policy or type(self).victim_policy)
+        net = machine.net
         self.probe_orders = [
-            ProbeOrder(r, n, machine.contexts[r].rng) for r in range(n)
+            victim_factory(r, n, machine.contexts[r].rng, net)
+            for r in range(n)
         ]
         #: Nodes popped from a victim's stack but not yet pushed onto the
         #: thief's (in transfer).  Part of the quiescence oracle.
@@ -143,7 +178,27 @@ class AlgorithmBase:
             )
         else:
             self._gate = None
+        #: Termination detection is a registry plug-in; the strategy
+        #: owns the barrier (exposed as ``self.barrier``) and the
+        #: idle-side phase.  Resolved before setup() so subclass setup
+        #: can read it; each algorithm restricts the keys it can host.
+        key = cfg.termination_policy
+        supported = type(self).termination_policies
+        if key is None:
+            key = supported[0]
+        elif key not in supported:
+            raise ConfigError(
+                f"{self.name} supports termination policies "
+                f"{sorted(supported)}; got {key!r}"
+            )
+        self._termination = TERMINATION_POLICIES.get(key)(self)
         self.setup()
+        if cfg.adversaries:
+            # Installed last: the actors mutate the per-rank tables
+            # above (speeds, steal amounts, duplicators) after every
+            # protocol object exists.
+            from repro.scenarios.adversaries import install_adversaries
+            install_adversaries(self, cfg.adversaries)
 
     def setup(self) -> None:
         """Hook for subclass shared state (locks, barriers, slots)."""
@@ -170,7 +225,13 @@ class AlgorithmBase:
 
     def on_thread_death(self, rank: int) -> None:
         """A thread fail-stopped (called after its stack/flight work is
-        accounted): release any algorithm state the corpse pinned."""
+        accounted): release any algorithm state the corpse pinned.
+
+        The base behaviour keeps the termination detector sound (a
+        corpse must not wedge the barrier); subclasses with extra
+        protocol state extend this and call ``super()``.
+        """
+        self._termination.on_thread_death(rank)
 
     def on_msg_to_dead(self, msg) -> None:
         """A message was addressed to an already-dead rank and is about
@@ -210,6 +271,91 @@ class AlgorithmBase:
             t += b
             b = min(b * factor, bmax)
         return (t - now if t > now else 0.0), b
+
+    # -- termination policy delegation -------------------------------------
+
+    def termination_phase(self, ctx: UpcContext) -> Generator:
+        """Idle-side termination detection: True on global termination,
+        False when the strategy obtained work (caller resumes working).
+        Delegates to the plugged-in strategy; subclasses (and tests) may
+        still override this wholesale."""
+        return (yield from self._termination.phase(ctx))
+
+    def termination_phase_park(self, ctx: UpcContext) -> Generator:
+        """Event-driven :meth:`termination_phase` (park idle strategy)."""
+        return (yield from self._termination.phase_park(ctx))
+
+    def barrier_service_hook(self, ctx: UpcContext) -> Generator:
+        """Called each barrier poll iteration so message-serving
+        algorithms (distmem) can answer steal requests while waiting.
+        The default serves nothing."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    # -- scenario hooks: heterogeneous speeds & per-rank adversaries -------
+
+    def _set_speed_factors(self, factors) -> None:
+        """Install per-rank visit-cost multipliers (scenario layer)."""
+        self._speed_factors = tuple(factors)
+
+    def _scale_speed(self, rank: int, factor: float) -> None:
+        """Multiply ``rank``'s visit cost by ``factor`` (slow-worker
+        adversary; composes with a scenario speed profile)."""
+        f = (list(self._speed_factors) if self._speed_factors is not None
+             else [1.0] * self.machine.n_threads)
+        f[rank] *= factor
+        self._set_speed_factors(f)
+
+    def t_node_of(self, rank: int) -> float:
+        """Per-node visit time for ``rank`` (== ``t_node`` on the
+        homogeneous machine)."""
+        f = self._speed_factors
+        return self.t_node if f is None else self.t_node * f[rank]
+
+    def _visit_timeouts_for(self, rank: int):
+        """The precomputed batch-cost Timeout table for ``rank``.
+
+        Homogeneous runs (and factor-1.0 ranks) reuse the shared table
+        unchanged -- same Timeout objects, bit-identical schedule.
+        Scaled ranks get a per-factor table, built once and cached, so
+        heterogeneous runs keep the fast path's no-allocation property.
+        """
+        f = self._speed_factors
+        if f is None or self._visit_timeouts is None:
+            return self._visit_timeouts
+        factor = f[rank]
+        if factor == 1.0:
+            return self._visit_timeouts
+        vt = self._vt_cache.get(factor)
+        if vt is None:
+            t = self.t_node * factor
+            vt = self._vt_cache[factor] = [
+                Timeout(i * t) for i in range(self.cfg.poll_interval + 1)
+            ]
+        return vt
+
+    def _set_rank_steal(self, rank: int, fn: StealAmount) -> None:
+        """Override the steal-amount policy for one thief rank
+        (greedy-thief adversary)."""
+        if self._rank_steal is None:
+            self._rank_steal = [None] * self.machine.n_threads
+        self._rank_steal[rank] = fn
+
+    def _mark_duplicator(self, rank: int) -> None:
+        """Mark ``rank`` as a duplicating stealer: after every
+        successful steal it immediately issues a redundant second
+        attempt against the same victim."""
+        self._dup_ranks = (self._dup_ranks or frozenset()) | {rank}
+
+    def _steal_for(self, thief: int, available_chunks: int) -> int:
+        """Chunks ``thief`` takes given availability: the per-rank
+        adversary override when installed, else the algorithm policy."""
+        r = self._rank_steal
+        if r is not None:
+            fn = r[thief]
+            if fn is not None:
+                return fn(available_chunks)
+        return self.steal_amount(available_chunks)
 
     def _ref_row(self, rank: int) -> List[float]:
         """Shared-reference cost from ``rank`` to every victim, built on

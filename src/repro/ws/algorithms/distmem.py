@@ -2,8 +2,9 @@
 
 All three refinements together:
 
-* streamlined termination (3.3.1) -- via
-  :class:`~repro.ws.algorithms.streamlined_phase.StreamlinedTerminationMixin`,
+* streamlined termination (3.3.1) -- via the pluggable
+  :class:`~repro.ws.termination.strategies.StreamlinedTermination`
+  policy,
 * rapid diffusion (3.3.2) -- thieves take half the available chunks,
 * **lock-less DFS stack** (3.3.3) -- the owner is the only thread that
   ever touches its stack.  A thief writes its ID into a lock-protected
@@ -28,9 +29,7 @@ from repro.metrics.states import SEARCHING, STEALING, WORKING
 from repro.pgas.machine import UpcContext
 from repro.sim.engine import SimEvent, Timeout
 from repro.ws.algorithms.base import NO_WORK, AlgorithmBase, flatten
-from repro.ws.algorithms.streamlined_phase import StreamlinedTerminationMixin
 from repro.ws.policies import steal_half
-from repro.ws.termination import StreamlinedBarrier
 
 __all__ = ["UpcDistMem"]
 
@@ -39,12 +38,15 @@ __all__ = ["UpcDistMem"]
 _GAVE_UP = object()
 
 
-class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
+class UpcDistMem(AlgorithmBase):
     name = "upc-distmem"
     steal_amount = staticmethod(steal_half)
+    #: Streamlined only: the lock-free request/response protocol has no
+    #: notion of a per-release barrier reset, so the cancelable barrier
+    #: cannot be hosted here.
+    termination_policies = ("streamlined",)
 
     def setup(self) -> None:
-        self.barrier = StreamlinedBarrier(self.machine)
         #: request[v] holds the rank of the thief requesting from v.
         self.request = self.machine.shared_array("steal_request", init=None)
         #: Locks guarding the request variables (NOT the stacks).
@@ -71,7 +73,10 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         st = self.stats[rank]
         rt = self.faults_rt
         if stack.shared_chunks > 0:
-            take = self.steal_amount(stack.shared_chunks)
+            # Per-thief policy: the greedy adversary's rank drains the
+            # whole shared region; everyone else takes the algorithm's
+            # native amount.
+            take = self._steal_for(thief, stack.shared_chunks)
             chunks = stack.steal_chunks(take)
             nodes = flatten(chunks)
             self.in_flight_nodes += len(nodes)
@@ -123,7 +128,8 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
 
     # -- thief side --------------------------------------------------------------
 
-    def try_steal(self, ctx: UpcContext, victim: int) -> Generator:
+    def try_steal(self, ctx: UpcContext, victim: int,
+                  _redundant: bool = False) -> Generator:
         """Write our ID into the victim's request variable and await the
         response (Sect. 3.3.3).  Returns True if work was obtained."""
         rank = ctx.rank
@@ -132,7 +138,7 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         tr = self.tracer
         if tr.enabled:
             tr.emit(self.machine.sim.now, rank, "steal.req",
-                    f"victim=T{victim}")
+                    f"victim=T{victim}" + (" dup=1" if _redundant else ""))
         lk = self.req_locks[victim]
         # "Attempts to write its thread ID" -- a lock *attempt*: if the
         # slot's lock is held, another thief is requesting; rather than
@@ -220,6 +226,13 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
         if tr.enabled:
             tr.emit(self.machine.sim.now, rank, "steal",
                     f"from=T{victim} chunks={len(chunks)} nodes={len(nodes)}")
+        if (self._dup_ranks is not None and not _redundant
+                and rank in self._dup_ranks):
+            # Duplicating-steal adversary: fire a second request at the
+            # same victim right away.  The victim usually denies it (our
+            # first grant drained or shrank its surplus); either way the
+            # request/response protocol must stay conservation-clean.
+            yield from self.try_steal(ctx, victim, _redundant=True)
         return True
 
     def _give_up_watch(self, ev: SimEvent, rank: int, victim: int) -> Generator:
@@ -258,7 +271,8 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
             gate.note(rank, stack.shared_chunks)
         local = stack.local
         shared = stack.shared
-        vt = self._visit_timeouts if self._fast else None
+        vt = self._visit_timeouts_for(rank) if self._fast else None
+        tn = self.t_node_of(rank)
         thresh = self._release_threshold
         limit = self._poll_interval
         chunk = self.cfg.chunk_size
@@ -297,7 +311,7 @@ class UpcDistMem(StreamlinedTerminationMixin, AlgorithmBase):
                 if vt is not None:
                     yield vt[n]
                 else:
-                    yield from ctx.compute(n * self.t_node)
+                    yield from ctx.compute(n * tn)
             while len(local) >= thresh:
                 # SplitStack.release inlined (len(local) >= thresh >=
                 # chunk makes its size guard redundant here).

@@ -11,24 +11,20 @@ probe cycle inspects the same-node ranks (node-local shared references,
 in-barrier probing prefers on-node victims.  On machines with multicore
 nodes (Kitty Hawk: 4 ranks/node; Topsail: 8) this shortens the
 work-discovery path whenever a neighbour has surplus.
+
+Since the policy split, the whole difference is the class attribute
+below: ``upc-distmem`` with ``victim_policy="hierarchical"`` in the
+config produces this variant's schedule bit-for-bit (pinned by
+``tests/scenarios``).
 """
 
 from __future__ import annotations
 
 from repro.ws.algorithms.distmem import UpcDistMem
-from repro.ws.policies import HierarchicalProbeOrder
 
 __all__ = ["UpcDistMemHier"]
 
 
 class UpcDistMemHier(UpcDistMem):
     name = "upc-distmem-hier"
-
-    def setup(self) -> None:
-        super().setup()
-        n = self.machine.n_threads
-        self.probe_orders = [
-            HierarchicalProbeOrder(r, n, self.machine.contexts[r].rng,
-                                   self.net.same_node)
-            for r in range(n)
-        ]
+    victim_policy = "hierarchical"

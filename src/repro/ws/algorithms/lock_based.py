@@ -48,11 +48,39 @@ class LockBasedAlgorithm(AlgorithmBase):
             self._own_lock.append(
                 (lk, Timeout(lc) if lc > 0 else None,
                  Timeout(uc) if uc > 0 else None))
-        # Only upc-sharedmem hooks after_release (barrier reset); when
-        # the hook is the base no-op, release() skips the generator
-        # round trip entirely.
+        # The cancelable barrier resets on every release; other
+        # termination policies (and subclasses without an override)
+        # leave the hook off, so release() skips the generator round
+        # trip entirely.
         self._after_release_hook = (
-            type(self).after_release is not LockBasedAlgorithm.after_release)
+            self._termination.resets_on_release
+            or type(self).after_release is not LockBasedAlgorithm.after_release)
+
+    # -- main loop -------------------------------------------------------------
+
+    def thread_main(self, ctx) -> Generator:
+        """Figure 1's state machine, parameterized by the termination
+        policy: work while the stack holds nodes, search per the
+        policy's persistence rule, run its detection phase when the
+        search gives up.  ``upc-sharedmem`` and ``upc-term`` are this
+        one loop with different policies plugged in.
+        """
+        term = self._termination
+        park = self._gate is not None and term.park_capable
+        search = self.search_phase_park if park else self.search_phase
+        terminate = (self.termination_phase_park if park
+                     else self.termination_phase)
+        persist = term.persist_while_working
+        while True:
+            if not self.stacks[ctx.rank].is_empty:
+                yield from self.working_phase(ctx)
+            found = yield from search(ctx, persist_while_working=persist)
+            if found:
+                continue
+            terminated = yield from terminate(ctx)
+            if terminated:
+                break
+        yield from self.final_reduction(ctx)
 
     # -- working phase ---------------------------------------------------------
 
@@ -80,7 +108,8 @@ class LockBasedAlgorithm(AlgorithmBase):
         local = stack.local
         shared = stack.shared
         fast = self._fast
-        vt = self._visit_timeouts if fast else None
+        vt = self._visit_timeouts_for(rank) if fast else None
+        tn = self.t_node_of(rank)
         thresh = self._release_threshold
         limit = self._poll_interval
         chunk = self.cfg.chunk_size
@@ -149,7 +178,7 @@ class LockBasedAlgorithm(AlgorithmBase):
                 if vt is not None:
                     yield vt[n]
                 else:
-                    yield from ctx.compute(n * self.t_node)
+                    yield from ctx.compute(n * tn)
             while len(local) >= thresh:
                 if not fast:
                     yield from self.release(ctx)
@@ -256,9 +285,10 @@ class LockBasedAlgorithm(AlgorithmBase):
             yield from self.after_release(ctx)
 
     def after_release(self, ctx) -> Generator:
-        """Hook: upc-sharedmem resets the cancelable barrier here."""
-        return
-        yield  # pragma: no cover - makes this a generator
+        """Per-release hook, owned by the termination policy (the
+        cancelable barrier cancels itself here -- the remote write the
+        paper blames for delaying working threads)."""
+        yield from self._termination.after_release(ctx)
 
     def reacquire(self, ctx) -> Generator:
         """Move the newest shared chunk back to local, under lock.
@@ -314,7 +344,7 @@ class LockBasedAlgorithm(AlgorithmBase):
 
     # -- stealing -----------------------------------------------------------------
 
-    def try_steal(self, ctx, victim: int) -> Generator:
+    def try_steal(self, ctx, victim: int, _redundant: bool = False) -> Generator:
         """Lock the victim's stack, reserve chunk(s), transfer outside
         the critical region (Sect. 3.1 'Work Stealing').  Returns True
         if work was obtained."""
@@ -324,7 +354,7 @@ class LockBasedAlgorithm(AlgorithmBase):
         tr = self.tracer
         if tr.enabled:
             tr.emit(self.machine.sim.now, rank, "steal.req",
-                    f"victim=T{victim}")
+                    f"victim=T{victim}" + (" dup=1" if _redundant else ""))
         vstack = self.stacks[victim]
         lk = self.stack_locks[victim]
         yield from ctx.lock(lk)
@@ -338,7 +368,7 @@ class LockBasedAlgorithm(AlgorithmBase):
                 tr.emit(self.machine.sim.now, rank, "steal.fail",
                         f"victim=T{victim} reason=empty")
             return False
-        take = self.steal_amount(nch)
+        take = self._steal_for(rank, nch)
         chunks = vstack.steal_chunks(take)
         nodes = flatten(chunks)
         self.in_flight_nodes += len(nodes)
@@ -365,6 +395,13 @@ class LockBasedAlgorithm(AlgorithmBase):
         if tr.enabled:
             tr.emit(self.machine.sim.now, rank, "steal",
                     f"from=T{victim} chunks={take} nodes={len(nodes)}")
+        if (self._dup_ranks is not None and not _redundant
+                and rank in self._dup_ranks):
+            # Duplicating-steal adversary: immediately re-raid the same
+            # victim.  The redundant attempt usually finds the shared
+            # region empty and fails cleanly -- the point is to stress
+            # the race paths; conservation must hold regardless.
+            yield from self.try_steal(ctx, victim, _redundant=True)
         return True
 
     # -- searching -----------------------------------------------------------------

@@ -41,6 +41,11 @@ _CTRL_BYTES = 8  # control messages: a tag and a word of payload
 
 class MpiWorkStealing(AlgorithmBase):
     name = "mpi-ws"
+    #: Termination (Dijkstra/Safra token ring) is fused into the
+    #: message-driven idle loops below; "token" is a marker policy
+    #: (no standalone detection phase), and no other detector fits the
+    #: two-sided protocol.
+    termination_policies = ("token",)
 
     # Fault model: the control channel (requests, denials, termination
     # tokens) is lossy -- droppable and duplicable.  WORK and TERM ride
@@ -167,7 +172,8 @@ class MpiWorkStealing(AlgorithmBase):
         poll_tags = self._poll_tags
         local = stack.local
         shared = stack.shared
-        vt = self._visit_timeouts if self._fast else None
+        vt = self._visit_timeouts_for(rank) if self._fast else None
+        tn = self.t_node_of(rank)
         thresh = self._release_threshold
         limit = self._poll_interval
         chunk = self.cfg.chunk_size
@@ -214,7 +220,7 @@ class MpiWorkStealing(AlgorithmBase):
                 if vt is not None:
                     yield vt[n]
                 else:
-                    yield from ctx.compute(n * self.t_node)
+                    yield from ctx.compute(n * tn)
             while len(local) >= thresh:
                 # SplitStack.release inlined (size guard redundant:
                 # len(local) >= thresh >= chunk).
@@ -297,6 +303,15 @@ class MpiWorkStealing(AlgorithmBase):
                 st.probes += 1
                 ctx.trace("steal.req", f"victim=T{victim}")
                 yield from self._send(ctx, victim, REQUEST)
+                if self._dup_ranks is not None and rank in self._dup_ranks:
+                    # Duplicating-steal adversary: a second REQUEST on
+                    # the wire.  Fault-free the protocol is dup-safe by
+                    # construction -- the extra NOWORK just re-clears
+                    # ``outstanding``; an extra WORK is consumed by the
+                    # next idle episode.  (Faulted runs dedup by
+                    # sequence, so the adversary targets this path.)
+                    ctx.trace("steal.req", f"victim=T{victim} dup=1")
+                    yield from self._send(ctx, victim, REQUEST)
                 outstanding = victim
                 progressed = True
             if progressed:
@@ -410,6 +425,10 @@ class MpiWorkStealing(AlgorithmBase):
                 st.probes += 1
                 ctx.trace("steal.req", f"victim=T{victim}")
                 yield from self._send(ctx, victim, REQUEST)
+                if self._dup_ranks is not None and rank in self._dup_ranks:
+                    # Duplicating-steal adversary (see idle_phase).
+                    ctx.trace("steal.req", f"victim=T{victim} dup=1")
+                    yield from self._send(ctx, victim, REQUEST)
                 outstanding = victim
                 continue
             # Park: block until the next message (response, request,

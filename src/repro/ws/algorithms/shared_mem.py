@@ -6,6 +6,14 @@ Altix) and collapses on clusters, where every release's barrier reset
 and every steal's remote locking eat the working threads alive --
 which is exactly what Figure 4 shows.
 
+Since the policy split, this class is a *policy declaration*: the main
+loop, the lock-guarded stack machinery, and the barrier protocol all
+live in :class:`~repro.ws.algorithms.lock_based.LockBasedAlgorithm`
+and the termination strategies
+(:mod:`repro.ws.termination.strategies`).  Swapping
+``termination_policy="streamlined"`` onto this class yields
+``upc-term``'s schedule exactly -- the tests pin that equivalence.
+
 ``idle_strategy="park"`` is a no-op here (accepted, nothing to swap):
 this algorithm is already event-driven when idle -- a failed probe
 cycle sends the thread straight into the cancelable barrier, where it
@@ -15,13 +23,8 @@ completes.  No idle thread ever keeps a poll timer in the event queue.
 
 from __future__ import annotations
 
-from typing import Generator
-
-from repro.metrics.states import BARRIER, SEARCHING
-from repro.pgas.machine import UpcContext
 from repro.ws.algorithms.lock_based import LockBasedAlgorithm
 from repro.ws.policies import steal_one
-from repro.ws.termination import CancelableBarrier
 
 __all__ = ["UpcSharedMem"]
 
@@ -29,37 +32,6 @@ __all__ = ["UpcSharedMem"]
 class UpcSharedMem(LockBasedAlgorithm):
     name = "upc-sharedmem"
     steal_amount = staticmethod(steal_one)
-
-    def setup(self) -> None:
-        super().setup()
-        self.barrier = CancelableBarrier(self.machine,
-                                         on_terminate=self.quiescence_check)
-
-    def after_release(self, ctx: UpcContext) -> Generator:
-        """Every release resets (cancels) the barrier -- the remote
-        write the paper blames for delaying working threads."""
-        yield from self.barrier.reset(ctx)
-
-    def on_thread_death(self, rank: int) -> None:
-        """Fail-stop recovery: count the corpse out of the cancelable
-        barrier so the survivors' count can still complete."""
-        self.barrier.on_thread_death(rank)
-
-    def thread_main(self, ctx: UpcContext) -> Generator:
-        st = self.stats[ctx.rank]
-        while True:
-            if not self.stacks[ctx.rank].is_empty:
-                yield from self.working_phase(ctx)
-            # Work discovery: a single failed probe cycle sends the
-            # thread to the barrier (Sect. 3.1 'Termination Detection').
-            found = yield from self.search_phase(ctx, persist_while_working=False)
-            if found:
-                continue
-            st.barrier_entries += 1
-            self.enter_state(ctx, BARRIER)
-            terminated = yield from self.barrier.enter_and_wait(ctx)
-            if terminated:
-                break
-            st.barrier_exits += 1
-            self.enter_state(ctx, SEARCHING)
-        yield from self.final_reduction(ctx)
+    #: Native detector: the Sect. 3.1 cancelable barrier.  Streamlined
+    #: is also hostable (that combination *is* upc-term).
+    termination_policies = ("cancelable-barrier", "streamlined")

@@ -4,44 +4,22 @@ The stack discipline (locks, steal-one) is unchanged; only termination
 differs: threads keep searching while any other thread is observed
 working, enter the barrier just once in the common case, and the last
 thread announces termination through a tree.
+
+Since the policy split the difference is literally one key: this class
+is :class:`~repro.ws.algorithms.shared_mem.UpcSharedMem`'s machinery
+with ``termination_policies`` leading with ``"streamlined"`` instead
+of ``"cancelable-barrier"`` (and the tests pin both cross-overs).
 """
 
 from __future__ import annotations
 
-from typing import Generator
-
-from repro.pgas.machine import UpcContext
 from repro.ws.algorithms.lock_based import LockBasedAlgorithm
-from repro.ws.algorithms.streamlined_phase import StreamlinedTerminationMixin
 from repro.ws.policies import steal_one
-from repro.ws.termination import StreamlinedBarrier
 
 __all__ = ["UpcTerm"]
 
 
-class UpcTerm(StreamlinedTerminationMixin, LockBasedAlgorithm):
+class UpcTerm(LockBasedAlgorithm):
     name = "upc-term"
     steal_amount = staticmethod(steal_one)
-
-    def setup(self) -> None:
-        super().setup()
-        self.barrier = StreamlinedBarrier(self.machine)
-
-    def thread_main(self, ctx: UpcContext) -> Generator:
-        # Park mode swaps in the event-driven search/termination
-        # variants; the working phase (and hence every result) is
-        # shared with the canonical polling build.
-        park = self._gate is not None
-        search = self.search_phase_park if park else self.search_phase
-        terminate = (self.termination_phase_park if park
-                     else self.termination_phase)
-        while True:
-            if not self.stacks[ctx.rank].is_empty:
-                yield from self.working_phase(ctx)
-            found = yield from search(ctx, persist_while_working=True)
-            if found:
-                continue
-            terminated = yield from terminate(ctx)
-            if terminated:
-                break
-        yield from self.final_reduction(ctx)
+    termination_policies = ("streamlined", "cancelable-barrier")

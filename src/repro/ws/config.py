@@ -5,15 +5,28 @@ the rest are secondary protocol parameters with defaults matching the
 reference implementations' behaviour (release threshold of ``2k``,
 MPI-style polling interval, and the search/barrier backoff the
 simulation uses in place of hardware spin loops).
+
+Since the policy split (ROADMAP item 4), the config also carries the
+registry-backed plug-in keys -- ``steal_policy``, ``victim_policy``,
+``termination_policy`` -- plus the scenario knobs ``speed_factors``
+(heterogeneous per-rank visit costs) and ``adversaries`` (hostile
+worker actors).  All of them validate eagerly in ``__post_init__``
+against :mod:`repro.ws.registry` / :mod:`repro.scenarios.adversaries`,
+so an unknown key fails at construction (and at every
+:func:`dataclasses.replace`-based derivation like
+:meth:`WsConfig.with_chunk_size`) with a :class:`~repro.errors.ConfigError`
+naming the registered alternatives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
+from repro.ws.registry import (STEAL_AMOUNTS, TERMINATION_POLICIES,
+                               VICTIM_POLICIES)
 
 __all__ = ["WsConfig"]
 
@@ -40,12 +53,43 @@ class WsConfig:
     #: barrier (they "only inspect one other thread", Sect. 3.3.1).
     barrier_poll_min: float = 10e-6
     barrier_poll_max: float = 1000e-6
-    #: Override the algorithm's steal-amount policy: "one", "half", or
-    #: None to keep each algorithm's native policy.  Lets ablations
-    #: isolate rapid diffusion from the other refinements.  (mpi-ws
-    #: always ships one chunk per WORK message, as in the reference
-    #: implementation; the override affects the UPC algorithms.)
+    #: Override the algorithm's steal-amount policy: a
+    #: :data:`repro.ws.registry.STEAL_AMOUNTS` key ("one", "half",
+    #: "all") or None to keep each algorithm's native policy.  Lets
+    #: ablations isolate rapid diffusion from the other refinements.
+    #: (mpi-ws always ships one chunk per WORK message, as in the
+    #: reference implementation; the override affects the UPC
+    #: algorithms.)
     steal_policy: Optional[str] = None
+    #: Override the algorithm's victim-selection policy: a
+    #: :data:`repro.ws.registry.VICTIM_POLICIES` key ("uniform",
+    #: "hierarchical") or None for the algorithm's native order
+    #: (uniform everywhere except upc-distmem-hier).  "hierarchical"
+    #: probes same-node ranks before off-node ranks -- with it,
+    #: upc-distmem *is* upc-distmem-hier, schedule-for-schedule.
+    victim_policy: Optional[str] = None
+    #: Override the algorithm's termination-detection policy: a
+    #: :data:`repro.ws.registry.TERMINATION_POLICIES` key
+    #: ("cancelable-barrier", "streamlined", "token", "none") or None
+    #: for the algorithm's native detector.  Membership is validated
+    #: here; each algorithm additionally restricts the keys it can
+    #: host (``termination_policies`` class attribute) at
+    #: construction -- e.g. the lock-free distmem protocol cannot run
+    #: the cancelable barrier's release-resets.
+    termination_policy: Optional[str] = None
+    #: Heterogeneous-machine knob: per-rank node-visit-cost multipliers
+    #: (tuple of positive floats, one per thread; length checked at
+    #: algorithm construction).  ``None`` (default) keeps the
+    #: homogeneous machine and the bit-identical fast path; factor 1.0
+    #: ranks cost exactly the baseline.  Built by the scenario speed
+    #: profiles (:mod:`repro.scenarios.profiles`).
+    speed_factors: Optional[Tuple[float, ...]] = None
+    #: Adversarial worker actors: ``((rank, spec), ...)`` where spec is
+    #: an :data:`repro.scenarios.adversaries.ADVERSARIES` key with
+    #: optional parameter ("slow:8", "greedy", "dup").  Installed onto
+    #: the algorithm at construction; None (default) means no actors
+    #: and zero overhead.  See docs/scenarios.md.
+    adversaries: Optional[Tuple[Tuple[int, str], ...]] = None
     #: What a thread with no work and no steal in progress does between
     #: probe cycles.  ``"poll"`` (default) is the paper-faithful busy
     #: poll: every idle thread keeps a backoff timer in the event queue,
@@ -79,11 +123,19 @@ class WsConfig:
             raise ConfigError("search_backoff_factor must be >= 1")
         if self.barrier_poll_min <= 0 or self.barrier_poll_max < self.barrier_poll_min:
             raise ConfigError("barrier poll bounds invalid")
-        if self.steal_policy not in (None, "one", "half"):
-            raise ConfigError(
-                f"steal_policy must be None, 'one', or 'half'; "
-                f"got {self.steal_policy!r}"
-            )
+        # Registry-aware plug-in keys: unknown keys fail here (and thus
+        # in every replace()-derived config, e.g. with_chunk_size) with
+        # the registered alternatives in the message.
+        if self.steal_policy is not None:
+            STEAL_AMOUNTS.validate(self.steal_policy)
+        if self.victim_policy is not None:
+            VICTIM_POLICIES.validate(self.victim_policy)
+        if self.termination_policy is not None:
+            TERMINATION_POLICIES.validate(self.termination_policy)
+        if self.speed_factors is not None:
+            self._validate_speed_factors()
+        if self.adversaries is not None:
+            self._validate_adversaries()
         if self.idle_strategy not in ("poll", "park"):
             raise ConfigError(
                 f"idle_strategy must be 'poll' or 'park', got "
@@ -109,9 +161,64 @@ class WsConfig:
                     "(use idle_strategy='poll')"
                 )
 
+    def _validate_speed_factors(self) -> None:
+        factors = self.speed_factors
+        if not isinstance(factors, tuple):
+            # Accept any sequence at construction; store the canonical
+            # (hashable) tuple form.
+            try:
+                factors = tuple(factors)
+            except TypeError:
+                raise ConfigError(
+                    f"speed_factors must be a sequence of positive "
+                    f"numbers, got {type(self.speed_factors).__name__}"
+                ) from None
+            object.__setattr__(self, "speed_factors", factors)
+        for i, f in enumerate(factors):
+            if not isinstance(f, (int, float)) or isinstance(f, bool) \
+                    or not f > 0:
+                raise ConfigError(
+                    f"speed_factors[{i}] must be a positive number, "
+                    f"got {f!r}"
+                )
+
+    def _validate_adversaries(self) -> None:
+        # Imported lazily: the scenario layer sits above repro.ws and
+        # importing it here at module scope would be a cycle.
+        from repro.scenarios.adversaries import parse_adversary
+        adv = self.adversaries
+        if not isinstance(adv, tuple):
+            try:
+                adv = tuple(tuple(pair) for pair in adv)
+            except TypeError:
+                raise ConfigError(
+                    "adversaries must be a sequence of (rank, spec) "
+                    f"pairs, got {type(self.adversaries).__name__}"
+                ) from None
+            object.__setattr__(self, "adversaries", adv)
+        for pair in adv:
+            if (not isinstance(pair, tuple) or len(pair) != 2
+                    or not isinstance(pair[0], int)
+                    or isinstance(pair[0], bool) or pair[0] < 0
+                    or not isinstance(pair[1], str)):
+                raise ConfigError(
+                    "each adversary must be a (rank >= 0, spec str) "
+                    f"pair, got {pair!r}"
+                )
+            parse_adversary(pair[1])  # raises ConfigError on unknown kind
+
     @property
     def release_threshold(self) -> int:
         return self.release_factor * self.chunk_size
 
     def with_chunk_size(self, k: int) -> "WsConfig":
+        """A copy with ``chunk_size=k``.
+
+        Runs the full ``__post_init__`` validation again (``replace``
+        re-invokes it), so registry-backed policy keys are re-checked:
+        deriving from a config whose policy key has since been
+        unregistered -- or constructing with an unknown key -- raises
+        :class:`~repro.errors.ConfigError` naming the registered
+        alternatives rather than failing deep inside a run.
+        """
         return replace(self, chunk_size=k)

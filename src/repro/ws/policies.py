@@ -16,8 +16,8 @@ from typing import Callable, Iterator, List
 
 from repro.sim.rng import StreamRng
 
-__all__ = ["steal_one", "steal_half", "StealAmount", "ProbeOrder",
-           "HierarchicalProbeOrder"]
+__all__ = ["steal_one", "steal_half", "steal_all", "StealAmount",
+           "ProbeOrder", "HierarchicalProbeOrder"]
 
 #: Maps the victim's available chunk count (>0) to chunks to take.
 StealAmount = Callable[[int], int]
@@ -37,6 +37,20 @@ def steal_half(available_chunks: int) -> int:
     if available_chunks == 1:
         return 1
     return (available_chunks + 1) // 2
+
+
+def steal_all(available_chunks: int) -> int:
+    """Take every available chunk.
+
+    No variant in the paper does this -- it is the *greedy thief*
+    adversary's policy (see :mod:`repro.scenarios.adversaries`): work
+    conservation still holds (the chunks land on the thief's stack),
+    but one steal drains the victim's entire shared region, starving
+    the other probers and concentrating load.
+    """
+    if available_chunks < 1:
+        raise ValueError("steal amount queried with no chunks available")
+    return available_chunks
 
 
 class ProbeOrder:

@@ -1,7 +1,18 @@
 """Termination-detection strategies for the work-stealing algorithms."""
 
 from repro.ws.termination.cancelable_barrier import CancelableBarrier
+from repro.ws.termination.strategies import (TERMINATION_CLASSES,
+                                             CancelableBarrierTermination,
+                                             NoTermination,
+                                             StreamlinedTermination,
+                                             TerminationStrategy,
+                                             TokenRingTermination)
 from repro.ws.termination.streamlined import StreamlinedBarrier
 from repro.ws.termination.token import BLACK, WHITE, TokenState
 
-__all__ = ["CancelableBarrier", "StreamlinedBarrier", "TokenState", "WHITE", "BLACK"]
+__all__ = [
+    "CancelableBarrier", "StreamlinedBarrier", "TokenState", "WHITE", "BLACK",
+    "TerminationStrategy", "CancelableBarrierTermination",
+    "StreamlinedTermination", "TokenRingTermination", "NoTermination",
+    "TERMINATION_CLASSES",
+]

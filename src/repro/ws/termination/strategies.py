@@ -1,0 +1,327 @@
+"""Termination detection as a pluggable policy axis.
+
+Each strategy owns one algorithm instance's termination machinery: it
+creates the barrier (exposed as ``algo.barrier`` for tests and fault
+hooks), runs the idle-side detection phase, and declares how the
+search loop and the release path must behave around it:
+
+* ``persist_while_working`` -- whether a searching thread keeps probing
+  while any other thread is observed working (streamlined, Sect. 3.3.1)
+  or gives up after one failed cycle (cancelable barrier, Sect. 3.1);
+* ``resets_on_release`` -- whether every release must cancel the
+  barrier (the remote write the paper blames for upc-sharedmem's
+  collapse);
+* ``park_capable`` -- whether ``idle_strategy="park"`` swaps in
+  event-driven search/termination variants (the cancelable barrier is
+  already event-driven when idle, so park changes nothing there).
+
+Algorithms declare the keys they support in ``termination_policies``
+(first entry is the default) and :class:`~repro.ws.algorithms.base.AlgorithmBase`
+resolves ``WsConfig.termination_policy`` against that list through
+:data:`repro.ws.registry.TERMINATION_POLICIES` -- which is what makes
+"upc-sharedmem with streamlined termination" a config key away from
+being ``upc-term`` (a property the tests pin).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ProtocolError
+from repro.metrics.states import BARRIER, SEARCHING, STEALING
+from repro.pgas.machine import UpcContext
+from repro.sim.engine import Timeout
+from repro.ws.termination.cancelable_barrier import CancelableBarrier
+from repro.ws.termination.streamlined import StreamlinedBarrier
+
+__all__ = ["TerminationStrategy", "CancelableBarrierTermination",
+           "StreamlinedTermination", "TokenRingTermination",
+           "NoTermination", "TERMINATION_CLASSES"]
+
+
+class TerminationStrategy:
+    """Base strategy: holds the algorithm and the phase contracts."""
+
+    key = "abstract"
+    #: Search persistence the strategy requires (see module docstring).
+    persist_while_working = True
+    #: Every release must cancel the barrier.
+    resets_on_release = False
+    #: Park mode swaps in the event-driven search/termination phases.
+    park_capable = True
+
+    def __init__(self, algo) -> None:
+        self.algo = algo
+
+    def phase(self, ctx: UpcContext) -> Generator:
+        """Idle-side detection: returns True on global termination,
+        False when work was obtained (caller resumes working)."""
+        raise ProtocolError(
+            f"{self.algo.name}: termination policy {self.key!r} has no "
+            "standalone detection phase (it is fused into the "
+            "algorithm's own idle loop)"
+        )
+        yield  # pragma: no cover - generator marker
+
+    def phase_park(self, ctx: UpcContext) -> Generator:
+        """Event-driven :meth:`phase` (``idle_strategy="park"``)."""
+        return (yield from self.phase(ctx))
+
+    def after_release(self, ctx: UpcContext) -> Generator:
+        """Per-release hook (only the cancelable barrier uses it)."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def on_thread_death(self, rank: int) -> None:
+        """Fail-stop recovery: a corpse must not wedge the detector."""
+
+
+class CancelableBarrierTermination(TerminationStrategy):
+    """Sect. 3.1: enter a cancelable barrier after one failed probe
+    cycle; any release cancels it; the last thread in terminates."""
+
+    key = "cancelable-barrier"
+    persist_while_working = False
+    resets_on_release = True
+    #: Already event-driven when idle: a waiter blocks on a SimEvent
+    #: until cancelled or terminated, keeping no poll timer in the
+    #: event queue.  Park therefore swaps nothing in.
+    park_capable = False
+
+    def __init__(self, algo) -> None:
+        super().__init__(algo)
+        self.barrier = algo.barrier = CancelableBarrier(
+            algo.machine, on_terminate=algo.quiescence_check)
+
+    def phase(self, ctx: UpcContext) -> Generator:
+        algo = self.algo
+        st = algo.stats[ctx.rank]
+        st.barrier_entries += 1
+        algo.enter_state(ctx, BARRIER)
+        terminated = yield from self.barrier.enter_and_wait(ctx)
+        if terminated:
+            return True
+        st.barrier_exits += 1
+        algo.enter_state(ctx, SEARCHING)
+        return False
+
+    def after_release(self, ctx: UpcContext) -> Generator:
+        """Every release resets (cancels) the barrier -- the remote
+        write the paper blames for delaying working threads."""
+        yield from self.barrier.reset(ctx)
+
+    def on_thread_death(self, rank: int) -> None:
+        self.barrier.on_thread_death(rank)
+
+
+class StreamlinedTermination(TerminationStrategy):
+    """Sect. 3.3.1: threads enter a counted barrier only after a full
+    probe cycle shows *every* other thread out of work; waiters probe
+    one victim per poll (leave-steal-re-enter on a hit); the last
+    thread in launches a tree-based announcement.
+
+    The in-barrier probe/steal loop calls back into the algorithm's
+    steal machinery (``try_steal``, ``barrier_service_hook``), so the
+    phases here read protocol state through ``self.algo``.
+    """
+
+    key = "streamlined"
+
+    def __init__(self, algo) -> None:
+        super().__init__(algo)
+        self.barrier = algo.barrier = StreamlinedBarrier(algo.machine)
+
+    def on_thread_death(self, rank: int) -> None:
+        """A corpse must not keep the counted barrier one short forever."""
+        self.barrier.on_thread_death(rank)
+
+    def phase(self, ctx: UpcContext) -> Generator:
+        algo = self.algo
+        st = algo.stats[ctx.rank]
+        st.barrier_entries += 1
+        algo.enter_state(ctx, BARRIER)
+        barrier = self.barrier
+        last = yield from barrier.enter(ctx)
+        if last:
+            algo.quiescence_check()
+            yield from barrier.announce(ctx)
+            return True
+        poll = algo.cfg.barrier_poll_min
+        rank = ctx.rank
+        order = algo.probe_orders[rank]
+        row = algo._ref_row(rank)
+        slots = algo._wa_slots
+        # Fault-free, compute() is an identity Timeout and a staleable
+        # read can never hit an open window -- take the direct paths.
+        fast = algo._fast
+        while True:
+            yield from algo.barrier_service_hook(ctx)
+            if barrier.terminated:
+                return True
+            if algo.faults_rt is not None and not barrier.announcing \
+                    and barrier.count == barrier.alive:
+                # A fail-stop elsewhere made this barrier full: every
+                # surviving thread is counted in, so the system holds no
+                # work (the corpses' work is accounted as lost).
+                algo.quiescence_check()
+                ctx.trace("recover.barrier_death",
+                          f"count={barrier.count}")
+                yield from barrier.announce(ctx)
+                return True
+            # Inspect a single other thread (Sect. 3.3.1).
+            victim = order.one()
+            st.probes += 1
+            cost = row[victim]
+            if cost > 0:
+                if fast:
+                    yield Timeout(cost)
+                else:
+                    yield from ctx.compute(cost)
+            avail = (slots[victim].value if fast else
+                     slots[victim].remote_read(ctx.now, rank))
+            if avail > 0:
+                # Leave the barrier before touching the work so the
+                # count never certifies termination with work in flight.
+                yield from barrier.leave(ctx)
+                algo.enter_state(ctx, STEALING)
+                ok = yield from algo.try_steal(ctx, victim)
+                if ok:
+                    st.barrier_exits += 1
+                    algo.enter_state(ctx, SEARCHING)
+                    return False
+                algo.enter_state(ctx, BARRIER)
+                last = yield from barrier.enter(ctx)
+                if last:
+                    algo.quiescence_check()
+                    yield from barrier.announce(ctx)
+                    return True
+                poll = algo.cfg.barrier_poll_min
+                continue
+            if poll > 0:
+                if fast:
+                    yield Timeout(poll)
+                else:
+                    yield from ctx.compute(poll)
+            poll = min(poll * 2.0, algo.cfg.barrier_poll_max)
+
+    def phase_park(self, ctx: UpcContext) -> Generator:
+        """Event-driven :meth:`phase` (``idle_strategy="park"``).
+
+        The barrier protocol (enter / probe one / leave-steal-re-enter /
+        announce) is the canonical one; what changes is the waiting: a
+        waiter that sees no surplus anywhere parks on the idle gate
+        instead of keeping its poll Timeout in the event queue.  Wakeups
+        are guaranteed: surplus appearing wakes a batch from the gate
+        (any waiter it passes over is woken by a later transition or
+        by termination), and the announcing thread fires ``wake_all``
+        *after* setting ``terminated``, so a woken waiter always
+        observes the flag.  On wake a waiter resumes on its virtual poll cadence
+        (:meth:`~repro.ws.algorithms.base.AlgorithmBase._park_resume_delay`),
+        bounding its probe rate by the polling build's.  Fault-free
+        only (:class:`~repro.ws.config.WsConfig` rejects park + faults),
+        so the barrier-death recovery branch of the polling variant has
+        no counterpart here.
+
+        Probes call ``net.shared_ref`` directly: the cached per-rank
+        cost row is O(n) to build and O(n^2) machine-wide, which the
+        one-victim-per-poll cadence never amortizes at scale.
+        """
+        algo = self.algo
+        rank = ctx.rank
+        st = algo.stats[rank]
+        st.barrier_entries += 1
+        algo.enter_state(ctx, BARRIER)
+        gate = algo._gate
+        barrier = self.barrier
+        last = yield from barrier.enter(ctx)
+        if last:
+            algo.quiescence_check()
+            yield from barrier.announce(ctx)
+            gate.wake_all()
+            return True
+        poll = algo.cfg.barrier_poll_min
+        pmax = algo.cfg.barrier_poll_max
+        one = algo.probe_orders[rank].one
+        slots = algo._wa_slots
+        shared_ref = algo.net.shared_ref
+        while True:
+            yield from algo.barrier_service_hook(ctx)
+            if barrier.terminated:
+                return True
+            if gate.n_surplus == 0:
+                # Nothing stealable anywhere (gate counters are exact):
+                # the single-victim inspection would provably find
+                # nothing, so skip it and park below.
+                avail = 0
+            else:
+                # Inspect a single other thread (Sect. 3.3.1).
+                victim = one()
+                st.probes += 1
+                cost = shared_ref(rank, victim)
+                if cost > 0:
+                    yield Timeout(cost)
+                avail = slots[victim].value
+            if avail > 0:
+                # Leave the barrier before touching the work so the
+                # count never certifies termination with work in flight.
+                yield from barrier.leave(ctx)
+                algo.enter_state(ctx, STEALING)
+                ok = yield from algo.try_steal(ctx, victim)
+                if ok:
+                    st.barrier_exits += 1
+                    algo.enter_state(ctx, SEARCHING)
+                    return False
+                algo.enter_state(ctx, BARRIER)
+                last = yield from barrier.enter(ctx)
+                if last:
+                    algo.quiescence_check()
+                    yield from barrier.announce(ctx)
+                    gate.wake_all()
+                    return True
+                poll = algo.cfg.barrier_poll_min
+                continue
+            if gate.n_surplus == 0:
+                # Nothing stealable anywhere: park.  The wake is
+                # guaranteed -- by a surplus transition, by the last
+                # worker going idle, or by the announcer's wake_all --
+                # because a barrier waiter is never the thread the rest
+                # of the machine is waiting on.
+                t_park = ctx.now
+                ctx.trace("idle.park")
+                yield gate.park(rank)
+                ctx.trace("idle.wake")
+                # Service before the cadence sleep: a targeted wake
+                # (distmem) means a thief is blocked on our answer.
+                yield from algo.barrier_service_hook(ctx)
+                delay, poll = algo._park_resume_delay(
+                    t_park, poll, ctx.now, pmax, 2.0)
+                if delay > 0:
+                    yield Timeout(delay)
+                continue
+            if poll > 0:
+                yield Timeout(poll)
+            poll = min(poll * 2.0, pmax)
+
+
+class TokenRingTermination(TerminationStrategy):
+    """Marker for mpi-ws: Dijkstra's token ring is fused into the
+    message-driven idle loop (:meth:`MpiWorkStealing.idle_phase`), so
+    there is no standalone phase to run here."""
+
+    key = "token"
+
+
+class NoTermination(TerminationStrategy):
+    """Marker for the open-system service pool: an open system never
+    terminates by quiescence -- the service's exact drain ledger
+    (``service.close``) decides when workers stop."""
+
+    key = "none"
+    persist_while_working = False
+
+
+TERMINATION_CLASSES = {
+    cls.key: cls
+    for cls in (CancelableBarrierTermination, StreamlinedTermination,
+                TokenRingTermination, NoTermination)
+}

@@ -7,10 +7,18 @@ import pytest
 import repro.harness.runner
 import repro.obs
 import repro.obs.events
+import repro.scenarios
+import repro.scenarios.adversaries
+import repro.scenarios.profiles
+import repro.scenarios.registry
 import repro.sim.engine
+import repro.ws.registry
 
 MODULES = [repro.sim.engine, repro.harness.runner,
-           repro.obs, repro.obs.events]
+           repro.obs, repro.obs.events,
+           repro.ws.registry, repro.scenarios,
+           repro.scenarios.adversaries, repro.scenarios.profiles,
+           repro.scenarios.registry]
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)

@@ -55,7 +55,8 @@ def test_paper_tree_constants_exported():
 
 def test_presets_exported():
     assert repro.get_preset("topsail") is repro.TOPSAIL
-    assert set(repro.PRESETS) == {"kittyhawk", "topsail", "altix", "sharedmem"}
+    assert set(repro.PRESETS) == {"kittyhawk", "topsail", "altix",
+                                  "sharedmem", "numa-2x", "numa-8x"}
 
 
 def test_obs_surface():

@@ -9,8 +9,10 @@ TREE = TreeParams.binomial(b0=150, m=2, q=0.49, seed=0)
 
 
 def test_invalid_policy_rejected():
-    with pytest.raises(ConfigError):
-        WsConfig(steal_policy="all")
+    # "all" became a registered policy (greedy adversary); use a key
+    # that stays unknown and check the message lists the alternatives.
+    with pytest.raises(ConfigError, match=r"registered: \['all', 'half', 'one'\]"):
+        WsConfig(steal_policy="most")
 
 
 def test_distmem_forced_to_steal_one():

@@ -105,6 +105,27 @@ def sweep(variants, seeds, delay_budget, fault_specs, fault_seeds,
                                "mode": "delay"}
 
 
+#: Scenario cells: every catalog scenario fuzzed under non-canonical
+#: schedules (the NUMA/adversary paths have their own races to probe).
+#: upc-distmem exercises the request/response protocol the adversaries
+#: target; upc-term covers the lock-based steal path.  mpi-ws skips the
+#: dup scenarios only in *faulted* mode (sequence dedup suppresses the
+#: duplicates by design), which the scenario sweep below stays clear of
+#: anyway (scenario cells are fault-free; the fault matrix is separate).
+SCENARIO_VARIANTS = ("upc-distmem", "upc-term")
+
+
+def scenario_sweep(scenarios, seeds, base_cell):
+    """Yield one result dict per (scenario, variant, schedule) cell."""
+    for scenario in scenarios:
+        for variant in SCENARIO_VARIANTS:
+            cell = {**base_cell, "variant": variant, "scenario": scenario}
+            yield {**run_cell(cell), "mode": "scenario"}
+            for s in range(seeds):
+                yield {**run_cell({**cell, "schedule_seed": s}),
+                       "mode": "scenario"}
+
+
 #: Service-mode cell for the open-system invariants (extended I1 task
 #: conservation + service.close termination); storms exercise the
 #: fail-stop-under-park paths.
@@ -175,6 +196,12 @@ def main(argv=None) -> int:
     ap.add_argument("--service-seeds", type=int, default=3,
                     help="random schedule seeds per service-mode cell "
                          "(-1 = skip service cells entirely)")
+    ap.add_argument("--scenarios", nargs="*", default=["default"],
+                    help="scenario names to fuzz ('all' = whole catalog, "
+                         "'default' = a small representative set, empty "
+                         "= skip scenario cells)")
+    ap.add_argument("--scenario-seeds", type=int, default=2,
+                    help="random schedule seeds per scenario cell")
     ap.add_argument("--out", default="CHECK_report.json")
     ap.add_argument("--emit-tests", metavar="DIR", default=None,
                     help="write shrunk reproducer pytest files here")
@@ -206,6 +233,18 @@ def main(argv=None) -> int:
     if args.service_seeds >= 0:
         for res in service_sweep(args.service_seeds):
             _consume(res)
+    if args.scenarios == ["all"]:
+        from repro.scenarios import SCENARIOS
+        scenario_names = sorted(SCENARIOS)
+    elif args.scenarios == ["default"]:
+        # A small representative set: one NUMA pair, the hostile mix.
+        scenario_names = ["numa-8x-uniform", "numa-8x-locality",
+                          "hostile-mix"]
+    else:
+        scenario_names = args.scenarios
+    for res in scenario_sweep(scenario_names, args.scenario_seeds,
+                              base_cell):
+        _consume(res)
 
     shrunk = []
     for res in failures:
@@ -280,6 +319,8 @@ def main(argv=None) -> int:
 
 def _cell_key(cell: dict) -> str:
     bits = []
+    if cell.get("scenario"):
+        bits.append(f"scenario={cell['scenario']}")
     if cell.get("schedule_seed") is not None:
         bits.append(f"sched={cell['schedule_seed']}")
     if cell.get("defer"):

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""E13 scenario matrix: locality-aware vs uniform victim selection
+under NUMA steal-cost asymmetry, with and without hostile workers.
+
+Grid: NUMA preset (numa-2x, numa-8x) x victim policy (uniform,
+hierarchical) x adversary class (none, slow, greedy, dup) on
+``upc-distmem``, every cell run under the PR 5 invariant monitor
+(I1-I5) with full verification.  A second pass smoke-runs every
+scenario in the catalog (:mod:`repro.scenarios`) through
+:func:`repro.check.check_run`.
+
+Writes ``SCENARIO_report.json`` (the CI artifact backing
+EXPERIMENTS.md E13) and exits non-zero if any cell fails an invariant
+or verification.
+
+Usage::
+
+    PYTHONPATH=src python tools/scenario_matrix.py --quick
+    PYTHONPATH=src python tools/scenario_matrix.py --lint-docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import TreeParams, run_experiment  # noqa: E402
+from repro.check import check_run  # noqa: E402
+from repro.check.invariants import InvariantMonitor  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.scenarios import SCENARIOS, parse_adversaries  # noqa: E402
+from repro.ws.config import WsConfig  # noqa: E402
+
+PRESETS = ("numa-2x", "numa-8x")
+VICTIMS = ("uniform", "hierarchical")
+#: Adversary classes per the E13 acceptance bar (>= 3 classes).
+ADVERSARIES = (None, "slow:8@1", "greedy@1,2", "dup@1,2")
+VARIANT = "upc-distmem"
+
+
+def run_matrix_cell(preset: str, victim: str, adversary, tree,
+                    threads: int, chunk_size: int,
+                    max_events: int) -> dict:
+    """One monitored, verified matrix cell."""
+    monitor = InvariantMonitor()
+    cfg = WsConfig(
+        chunk_size=chunk_size,
+        victim_policy=victim,
+        adversaries=(parse_adversaries(adversary, threads)
+                     if adversary else None),
+    )
+    cell = {"variant": VARIANT, "preset": preset, "victim": victim,
+            "adversary": adversary or "none", "threads": threads,
+            "chunk_size": chunk_size}
+    t0 = time.perf_counter()
+    try:
+        res = run_experiment(VARIANT, tree=tree, threads=threads,
+                             preset=preset, config=cfg, verify=True,
+                             tracer=monitor, max_events=max_events)
+        monitor.final_check()
+    except ReproError as exc:
+        return {**cell, "ok": False, "error_type": type(exc).__name__,
+                "error": str(exc),
+                "host_seconds": round(time.perf_counter() - t0, 4)}
+    return {
+        **cell, "ok": True,
+        "sim_time": res.sim_time,
+        "total_nodes": res.total_nodes,
+        "steals_ok": sum(s.steals_ok for s in res.per_thread),
+        "probes": sum(s.probes for s in res.per_thread),
+        "engine_events": res.engine_events,
+        "monitor": monitor.summary(),
+        "host_seconds": round(time.perf_counter() - t0, 4),
+    }
+
+
+def locality_summary(cells) -> list:
+    """Per (preset, adversary): uniform vs hierarchical sim time."""
+    by_key = {(c["preset"], c["adversary"], c["victim"]): c
+              for c in cells if c["ok"]}
+    rows = []
+    for preset in PRESETS:
+        for adv in (a or "none" for a in ADVERSARIES):
+            u = by_key.get((preset, adv, "uniform"))
+            h = by_key.get((preset, adv, "hierarchical"))
+            if u is None or h is None:
+                continue
+            rows.append({
+                "preset": preset,
+                "adversary": adv,
+                "uniform_time": u["sim_time"],
+                "locality_time": h["sim_time"],
+                "locality_speedup": round(u["sim_time"] / h["sim_time"], 4),
+            })
+    return rows
+
+
+def lint_docs(path: str = "docs/scenarios.md") -> int:
+    """Every registered scenario must appear in the catalog doc."""
+    here = os.path.join(os.path.dirname(__file__), "..")
+    with open(os.path.join(here, path), encoding="utf-8") as fh:
+        text = fh.read()
+    missing = [name for name in sorted(SCENARIOS) if f"`{name}`" not in text]
+    if missing:
+        print(f"LINT FAIL: scenario(s) missing from {path}: {missing}")
+        return 1
+    print(f"lint OK: all {len(SCENARIOS)} scenarios documented in {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small tree (CI smoke; same grid)")
+    ap.add_argument("--threads", type=int, default=16)
+    ap.add_argument("--chunk-size", type=int, default=4)
+    ap.add_argument("--max-events", type=int, default=5_000_000)
+    ap.add_argument("--out", default="SCENARIO_report.json")
+    ap.add_argument("--lint-docs", action="store_true",
+                    help="only check docs/scenarios.md covers the "
+                         "catalog, then exit")
+    args = ap.parse_args(argv)
+
+    if args.lint_docs:
+        return lint_docs()
+
+    if args.quick:
+        tree = TreeParams.binomial(b0=64, q=0.48, m=2, seed=1)
+        threads = min(args.threads, 8)
+    else:
+        tree = TreeParams.binomial(b0=500, q=0.124, m=8, seed=0)
+        threads = args.threads
+
+    t0 = time.perf_counter()
+    cells, failures = [], []
+    for preset in PRESETS:
+        for victim in VICTIMS:
+            for adversary in ADVERSARIES:
+                cell = run_matrix_cell(preset, victim, adversary, tree,
+                                       threads, args.chunk_size,
+                                       args.max_events)
+                cells.append(cell)
+                tag = (f"{preset}/{victim}/{cell['adversary']}")
+                if cell["ok"]:
+                    print(f"ok   {tag:34s} t={cell['sim_time'] * 1e3:8.3f}ms "
+                          f"steals={cell['steals_ok']}", flush=True)
+                else:
+                    failures.append(cell)
+                    print(f"FAIL {tag:34s} {cell['error_type']}: "
+                          f"{cell['error']}", flush=True)
+
+    # Catalog smoke: every registered scenario, canonical schedule,
+    # through the same checked-cell machinery the fuzzer uses.
+    catalog = []
+    for name in sorted(SCENARIOS):
+        out = check_run(VARIANT, scenario=name,
+                        threads=min(args.threads, 8))
+        entry = {"scenario": name, "ok": out.ok,
+                 "error_type": out.error_type, "error": out.error,
+                 "total_nodes": out.total_nodes,
+                 "sim_time": out.sim_time}
+        catalog.append(entry)
+        if not out.ok:
+            failures.append(entry)
+            print(f"FAIL catalog/{name}: {out.error_type}: {out.error}",
+                  flush=True)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "argv": sys.argv[1:],
+            "variant": VARIANT,
+            "threads": threads,
+            "tree": tree.describe(),
+            "grid": {"presets": list(PRESETS), "victims": list(VICTIMS),
+                     "adversaries": [a or "none" for a in ADVERSARIES]},
+            "host_seconds": round(time.perf_counter() - t0, 2),
+        },
+        "totals": {"cells": len(cells) + len(catalog),
+                   "failed": len(failures)},
+        "matrix": cells,
+        "locality_vs_uniform": locality_summary(cells),
+        "catalog": catalog,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"\n{report['totals']['cells']} cell(s), "
+          f"{len(failures)} failure(s) in "
+          f"{report['meta']['host_seconds']}s -> {args.out}")
+    for row in report["locality_vs_uniform"]:
+        print(f"  {row['preset']:8s} adv={row['adversary']:10s} "
+              f"locality speedup {row['locality_speedup']:.3f}x")
+    print("CLEAN MATRIX" if not failures else "FAILURES FOUND")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
