@@ -1,11 +1,55 @@
-"""Setuptools shim.
+"""Setuptools shim + the optional compiled fastpath extension.
 
 The execution environment has no network and no ``wheel`` package, so
 pip's PEP-660 editable path (which shells out to ``bdist_wheel``) fails.
 This shim keeps ``python setup.py develop`` / legacy ``pip install -e .``
 working offline; all metadata lives in ``pyproject.toml``.
+
+``repro`` must install and run from a plain checkout on a host with no
+C compiler: the ``repro.fastpath._core`` extension carries
+``optional=True`` and the build command below downgrades any
+compile/link failure to a warning, leaving the pure-Python backend in
+charge (see ``repro.fastpath`` for the selection rules).
+
+To build the extension in place for development::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class OptionalBuildExt(build_ext):
+    """build_ext that treats every failure as 'no fastpath today'."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # no compiler / headers: stay pure
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            self._skip(exc)
+
+    def _skip(self, exc):
+        self.warn(
+            f"building the optional repro.fastpath._core extension failed "
+            f"({exc}); continuing with the pure-Python backend"
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.fastpath._core",
+            sources=["src/repro/fastpath/_core.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        ),
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -1,0 +1,177 @@
+"""numpy-vectorized UTS tree construction (exact by construction).
+
+Vectorizing tree expansion is only admissible where it cannot change a
+single node: the schedule gates (`bench_* --check`) assume the tree is
+bit-identical across backends.  Two operations qualify because they
+are pure *integer* arithmetic with wraparound semantics numpy
+reproduces exactly:
+
+* binomial child counts -- ``rand(state) < thresh`` where ``rand`` is
+  the top 31 bits of the state (a ``uint32``/``uint64`` compare);
+* SplitMix64 child spawning -- the ``_mix64`` finalizer over
+  ``uint64`` states (numpy's modular arithmetic == Python's ``& _M64``).
+
+The geometric shapes stay scalar on purpose: their child counts go
+through ``math.log``/``math.sin`` and a vectorized transcendental that
+differs by one ulp would silently fork the whole subtree below it.
+
+SHA-1 digests are still computed per child via ``hashlib`` (there is
+no batched multi-digest API), but the level-order builder here removes
+the per-node Python dispatch around them.  ``sha1-pure`` is excluded:
+that engine exists to cross-check the reference implementation, so it
+must keep exercising the from-scratch scalar code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Optional, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "OVERFLOW",
+    "batch_rand_sha1",
+    "batch_rand_splitmix",
+    "batch_spawn_splitmix",
+    "fast_build",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: Sentinel: the tree exceeds the node cap (caller must not fall back
+#: to the scalar builder -- it would just re-discover the overflow).
+OVERFLOW = object()
+
+_RAND_MASK = 0x7FFFFFFF
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def batch_rand_sha1(states: List[bytes]) -> "object":
+    """``rand()`` for a batch of 20-byte SHA-1 states.
+
+    Each state is five big-endian 32-bit words; ``rand`` is the first
+    word masked to 31 bits -- an exact integer view of the
+    concatenated digests.
+    """
+    arr = _np.frombuffer(b"".join(states), dtype=">u4")
+    return arr[::5] & _np.uint32(_RAND_MASK)
+
+
+def batch_rand_splitmix(states: "object") -> "object":
+    """``rand()`` (top 31 bits) for a uint64 array of splitmix states."""
+    return states >> _np.uint64(33)
+
+
+def _mix64(z: "object") -> "object":
+    """SplitMix64 finalizer over a uint64 array (wraparound is exact)."""
+    z = (z ^ (z >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> _np.uint64(31))
+
+
+def batch_spawn_splitmix(state: int, n: int) -> "object":
+    """Child states ``spawn(state, 0..n-1)`` as a uint64 array."""
+    idx = _np.arange(1, n + 1, dtype=_np.uint64)
+    return _mix64(_np.uint64(state) + idx * _np.uint64(_GAMMA))
+
+
+def fast_build(base, cap: int, no_kids: Optional[list] = None):
+    """Level-order expansion matching ``MaterializedTree.build`` exactly.
+
+    Returns ``(nodes, kid_map)`` with the identical breadth-first node
+    list and child map the scalar builder produces, :data:`OVERFLOW`
+    when the tree exceeds ``cap`` nodes, or None when this builder has
+    no kernel for the tree's shape/engine (caller falls back to the
+    scalar loop).
+    """
+    if _np is None or not base._is_binomial:
+        return None
+    name = base.engine.name
+    if name == "sha1":
+        return _build_binomial_sha1(base, cap, no_kids)
+    if name == "splitmix":
+        return _build_binomial_splitmix(base, cap, no_kids)
+    return None
+
+
+def _build_binomial_sha1(base, cap: int, no_kids: Optional[list]):
+    m = base._m
+    thresh = base._thresh
+    if no_kids is None:
+        no_kids = []
+    suffixes = [struct.pack(">I", i) for i in range(m)]
+    sha1 = hashlib.sha1
+    root = base.root()
+    nodes: list = [root]
+    kid_map: dict = {}
+    # Root level: b0 children unconditionally (scalar path, one node).
+    level = base.children(root)
+    kid_map[root] = level if level else no_kids
+    nodes.extend(level)
+    if len(nodes) > cap:
+        return OVERFLOW
+    height = 1
+    while level:
+        height += 1
+        interior = (batch_rand_sha1([s for s, _ in level]) <
+                    _np.uint32(thresh)).tolist()
+        next_level: list = []
+        extend = next_level.extend
+        for node, is_interior in zip(level, interior):
+            if is_interior:
+                state = node[0]
+                kids = [(sha1(state + sfx).digest(), height)
+                        for sfx in suffixes]
+                kid_map[node] = kids
+                extend(kids)
+            else:
+                kid_map[node] = no_kids
+        nodes.extend(next_level)
+        if len(nodes) > cap:
+            return OVERFLOW
+        level = next_level
+    return nodes, kid_map
+
+
+def _build_binomial_splitmix(base, cap: int, no_kids: Optional[list]):
+    m = base._m
+    thresh = base._thresh
+    if no_kids is None:
+        no_kids = []
+    root = base.root()
+    nodes: list = [root]
+    kid_map: dict = {}
+    level = base.children(root)
+    kid_map[root] = level if level else no_kids
+    nodes.extend(level)
+    if len(nodes) > cap:
+        return OVERFLOW
+    idx = _np.arange(1, m + 1, dtype=_np.uint64) * _np.uint64(_GAMMA)
+    height = 1
+    while level:
+        height += 1
+        states = _np.array([s for s, _ in level], dtype=_np.uint64)
+        interior = batch_rand_splitmix(states) < thresh
+        child_rows = iter(
+            _mix64(states[interior][:, None] + idx[None, :]).tolist()
+            if int(interior.sum()) else ())
+        next_level: list = []
+        extend = next_level.extend
+        for node, is_interior in zip(level, interior.tolist()):
+            if is_interior:
+                kids = [(cs, height) for cs in next(child_rows)]
+                kid_map[node] = kids
+                extend(kids)
+            else:
+                kid_map[node] = no_kids
+        nodes.extend(next_level)
+        if len(nodes) > cap:
+            return OVERFLOW
+        level = next_level
+    return nodes, kid_map

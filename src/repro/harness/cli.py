@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-queue backend; 'auto' picks the bucket queue at "
              "512+ threads (identical dispatch order either way)")
     run_p.add_argument(
+        "--fastpath", choices=["auto", "pure", "fast"], default="auto",
+        help="execution backend: 'auto' uses the compiled "
+             "repro.fastpath core when built, 'pure' forces the "
+             "pure-Python loops, 'fast' errors if the extension is "
+             "missing (bit-identical schedules either way)")
+    run_p.add_argument(
         "--faults", metavar="SPEC", default=None,
         help="deterministic fault injection, e.g. "
              "'drop=0.05,dup=0.02,delay=0.1' or 'kill=3@2ms,kill=5@4ms' "
@@ -139,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--queue", dest="event_queue",
                      choices=["auto", "heap", "bucket"], default="auto",
                      help="event-queue backend (identical results)")
+    srv.add_argument("--fastpath", choices=["auto", "pure", "fast"],
+                     default="auto",
+                     help="execution backend (compiled core vs pure "
+                          "Python; identical results)")
     srv.add_argument("--faults", metavar="SPEC", default=None,
                      help="fault spec; storms supported, e.g. "
                           "'storm(kill:3@t=5ms..6ms)'")
@@ -242,7 +252,7 @@ def _run_single(args: argparse.Namespace) -> int:
     res = run_experiment(args.algorithm, tree=tree, threads=args.threads,
                          preset=preset, config=config,
                          verify=not args.no_verify, faults=plan, tracer=sink,
-                         queue=args.queue)
+                         queue=args.queue, fastpath=args.fastpath)
     print(res.summary())
     print(f"working-state share: {100 * res.working_fraction:.1f}%")
     if res.fault_counters is not None:
@@ -280,7 +290,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                       idle_strategy=args.idle_strategy)
     res = run_service(service, threads=args.threads, preset=args.preset,
                       config=config, seed=args.seed, faults=plan,
-                      tracer=sink, queue=args.event_queue)
+                      tracer=sink, queue=args.event_queue,
+                      fastpath=args.fastpath)
     print(res.summary())
     print(f"arrivals: {res.arrival_description}   "
           f"tasks: {res.service_description}")

@@ -66,6 +66,7 @@ def run_experiment(
     faults: Optional[FaultPlan] = None,
     tie_break=None,
     queue: str = "auto",
+    fastpath: Optional[str] = None,
 ) -> RunResult:
     """Run one parallel UTS search on the simulated machine.
 
@@ -110,6 +111,14 @@ def run_experiment(
         thread count and the classic heap below it; ``"heap"`` /
         ``"bucket"`` force a backend.  Dispatch order -- and therefore
         every result -- is identical across backends.
+    fastpath:
+        Execution backend: ``"auto"`` (default) uses the compiled
+        :mod:`repro.fastpath` core when built, ``"pure"`` forces the
+        pure-Python loops, ``"fast"`` requires the compiled core
+        (:class:`~repro.errors.ConfigError` when unavailable).  The
+        ``REPRO_FASTPATH`` environment variable overrides this.  Both
+        backends execute bit-identical schedules; ``None`` defers to
+        ``config.fastpath`` (itself defaulting to auto).
 
     Returns
     -------
@@ -135,8 +144,11 @@ def run_experiment(
     cfg = config if config is not None else WsConfig(chunk_size=chunk_size)
     if faults is not None:
         cfg = _dc_replace(cfg, faults=faults)
+    if fastpath is None:
+        fastpath = cfg.fastpath
     machine = Machine(threads=threads, net=network, seed=seed, tracer=tracer,
-                      max_events=max_events, tie_break=tie_break, queue=queue)
+                      max_events=max_events, tie_break=tie_break, queue=queue,
+                      fastpath=fastpath)
     fault_rt: Optional[FaultRuntime] = None
     if cfg.faults is not None:
         # Installed before the algorithm is constructed so every hook

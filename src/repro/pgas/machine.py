@@ -48,7 +48,8 @@ class Machine:
                  tracer: Optional[Tracer] = None,
                  max_events: int = 50_000_000,
                  tie_break: Optional[Callable[[int], Any]] = None,
-                 queue: str = "auto") -> None:
+                 queue: str = "auto",
+                 fastpath: Optional[str] = None) -> None:
         if threads < 1:
             raise ConfigError(f"threads must be >= 1, got {threads}")
         if queue == "auto":
@@ -57,7 +58,7 @@ class Machine:
         self.net = net
         self.seed = seed
         self.sim = Simulator(max_events=max_events, tie_break=tie_break,
-                             queue=queue)
+                             queue=queue, fastpath=fastpath)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # Engine-level hook: lets Simulator.interrupt record fail-stops
         # into the same trace stream (no-op when tracing is off).

@@ -72,6 +72,7 @@ def run_service(
     faults: Optional[FaultPlan] = None,
     tie_break=None,
     queue: str = "auto",
+    fastpath: Optional[str] = None,
 ) -> ServiceResult:
     """Run one open-system service stream on the simulated machine.
 
@@ -89,8 +90,11 @@ def run_service(
     if faults is not None:
         cfg = _dc_replace(cfg, faults=faults)
     workload = ServiceWorkload(service.inner_params(), seed=service.seed)
+    if fastpath is None:
+        fastpath = cfg.fastpath
     machine = Machine(threads=threads, net=network, seed=seed, tracer=tracer,
-                      max_events=max_events, tie_break=tie_break, queue=queue)
+                      max_events=max_events, tie_break=tie_break, queue=queue,
+                      fastpath=fastpath)
     fault_rt: Optional[FaultRuntime] = None
     if cfg.faults is not None:
         fault_rt = FaultRuntime(cfg.faults, machine)

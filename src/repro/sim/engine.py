@@ -184,7 +184,8 @@ class Simulator:
     def __init__(self, max_events: int = 50_000_000,
                  tie_break: Optional[Callable[[int], Any]] = None,
                  queue: str = "heap",
-                 queue_width: float = DEFAULT_BUCKET_WIDTH) -> None:
+                 queue_width: float = DEFAULT_BUCKET_WIDTH,
+                 fastpath: Optional[str] = None) -> None:
         self.now: float = 0.0
         self.max_events = max_events
         self.events_processed = 0
@@ -217,6 +218,19 @@ class Simulator:
         #: is enabled; None costs one attribute test on those paths and
         #: never perturbs scheduling (tracers only append to a list).
         self.tracer = None
+        #: Resolved execution backend ("fast"/"pure", see
+        #: :mod:`repro.fastpath`).  ``_crun`` holds the compiled run
+        #: loop when it can actually drive this simulator: the C loop
+        #: mirrors the inlined heap loop only, so tie-break policies
+        #: and the bucket queue keep their Python loops (a "fast"
+        #: resolution still vectorizes tree expansion in that case).
+        from repro.fastpath import resolve as _resolve_fastpath
+        self.fastpath = _resolve_fastpath(fastpath)
+        self._crun = None
+        if (self.fastpath == "fast" and tie_break is None
+                and self._equeue is None):
+            from repro.fastpath import load_core
+            self._crun = load_core().run
 
     # -- scheduling ------------------------------------------------------
 
@@ -328,6 +342,8 @@ class Simulator:
             return self._run_policy(until)
         if self._equeue is not None:
             return self._run_bucket(until)
+        if self._crun is not None:
+            return self._crun(self, until)
         if until is not None:
             return self._run_until(until)
         heap = self._heap
@@ -579,6 +595,11 @@ class Simulator:
         for body in processes:
             self.spawn(body)
         return self.run()
+
+    @property
+    def fastpath_active(self) -> bool:
+        """True when :meth:`run` dispatches through the compiled loop."""
+        return self._crun is not None
 
     @property
     def queue_size(self) -> int:

@@ -86,6 +86,18 @@ class MaterializedTree:
         if cap <= 0:
             return None
         base = Tree(params)
+        # Vectorized builder (repro.fastpath.nputs): same breadth-first
+        # node list and child map, built level-at-a-time with numpy
+        # child-count kernels.  None means "no kernel for this shape";
+        # OVERFLOW means the scalar loop would hit the cap too.
+        from repro.fastpath import vector_expansion_enabled
+        if vector_expansion_enabled():
+            from repro.fastpath import nputs
+            built = nputs.fast_build(base, cap, cls._NO_KIDS)
+            if built is nputs.OVERFLOW:
+                return None
+            if built is not None:
+                return cls(base, built[0], built[1])
         nodes: List[Node] = [base.root()]
         kid_map: dict = {}
         no_kids = cls._NO_KIDS

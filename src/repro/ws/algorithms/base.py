@@ -138,7 +138,15 @@ class AlgorithmBase:
         #: Fused expansion hook: a materialized tree runs the DFS inner
         #: loop against its flat arrays (bit-identical, no per-node
         #: children() call); implicit trees use the generic loop below.
+        #: With the compiled backend selected, the same inner loop runs
+        #: in C (repro.fastpath._core.batch_expand -- an exact mirror,
+        #: so the pops/pushes/visit counts cannot diverge).
         self._batch_expand = getattr(tree, "batch_expand", None)
+        if self._batch_expand is not None and machine.sim.fastpath == "fast":
+            from repro.fastpath import batch_expander
+            compiled = batch_expander(tree)
+            if compiled is not None:
+                self._batch_expand = compiled
         #: Chunks available per thread; NO_WORK when a thread is idle.
         #: Staleable: under a stale-read fault plan, remote probes may
         #: briefly observe the pre-write value (inert without faults).
@@ -368,6 +376,28 @@ class AlgorithmBase:
                 shared_ref(rank, v) for v in range(self.machine.n_threads)
             ]
         return row
+
+    def _probe_segments(self, rank: int):
+        """The rank's probe order as static victim segments, for the
+        compiled search phase's native shuffle.
+
+        Returns ``(segments, getrandbits)`` -- each ``cycle()`` is
+        ``shuffled(seg) for seg in segments``, concatenated, and the
+        shuffles replay the bound Mersenne Twister draw-for-draw -- or
+        ``(None, None)`` when the probe order or its RNG is not the
+        stock implementation (the C phase then calls ``cycle()``)."""
+        import random
+
+        from repro.ws.policies import HierarchicalProbeOrder, ProbeOrder
+        po = self.probe_orders[rank]
+        rng = getattr(getattr(po, "_rng", None), "_rng", None)
+        if type(rng) is not random.Random:
+            return None, None
+        if type(po) is ProbeOrder:
+            return [po.others()], rng.getrandbits
+        if type(po) is HierarchicalProbeOrder:
+            return [list(po._on_node), list(po._off_node)], rng.getrandbits
+        return None, None
 
     # -- tree exploration (the hot loop) -----------------------------------
 

@@ -55,6 +55,15 @@ class UpcDistMem(AlgorithmBase):
         #: the victim fires with the granted chunks (spinning on it is a
         #: local read, hence free for the thief).
         self.response_events: List[Optional[SimEvent]] = [None] * self.machine.n_threads
+        #: Compiled working-phase state machines (repro.fastpath), one
+        #: per rank, built lazily when the fused fast path applies.
+        self._c_phases: dict = {}
+        self._fuse = None
+        #: Compiled search-phase fusion (repro.fastpath.SearchPhase):
+        #: probes and backoff in C; steals and request service bounce
+        #: back to the Python protocol methods.
+        self._c_searches: dict = {}
+        self._sfuse = None
 
     # -- victim side -----------------------------------------------------------
 
@@ -463,10 +472,34 @@ class UpcDistMem(AlgorithmBase):
         search = self.search_phase_park if park else self.search_phase
         terminate = (self.termination_phase_park if park
                      else self.termination_phase)
+        fuse = self._fuse
+        if fuse is None:
+            fuse = self._fuse = self._fusion_enabled()
+        phase = self._c_phase(ctx.rank) if fuse else None
+        sfuse = self._sfuse
+        if sfuse is None:
+            sfuse = self._sfuse = (
+                fuse and type(self).search_phase
+                is UpcDistMem.search_phase)
+        sphase = self._c_search(ctx.rank) if sfuse else None
         while True:
             if not self.stacks[ctx.rank].is_empty:
-                yield from self.working_phase(ctx)
-            found = yield from search(ctx)
+                if phase is not None:
+                    # Compiled working phase: the C state machine runs
+                    # the poll/visit/release/reacquire loop (identical
+                    # yields and counters to working_phase) and bounces
+                    # back here -- with a non-None value -- whenever a
+                    # steal request needs the Python service path.
+                    res = yield phase
+                    while res is not None:
+                        yield from self.service_request(ctx)
+                        res = yield phase
+                else:
+                    yield from self.working_phase(ctx)
+            if sphase is not None:
+                found = yield from self._search_fused(ctx, sphase)
+            else:
+                found = yield from search(ctx)
             if found:
                 continue
             terminated = yield from terminate(ctx)
@@ -476,3 +509,140 @@ class UpcDistMem(AlgorithmBase):
         # we were inside the announcing barrier.
         yield from self.service_request(ctx)
         yield from self.final_reduction(ctx)
+
+    # -- compiled working-phase fusion (repro.fastpath) -----------------------
+
+    def _fusion_enabled(self) -> bool:
+        """Whether the compiled OwnerPhase may replace ``working_phase``.
+
+        Same contract as ``LockBasedAlgorithm._fusion_enabled``: the
+        fused phase reproduces exactly the fault-free, trace-off,
+        poll-mode, materialized-tree generator (steal requests bounce
+        back to :meth:`service_request`, which stays in Python), so
+        anything else falls back.  Schedules are bit-identical either
+        way; only host speed differs.
+        """
+        if (self.sim._crun is None
+                or not self._fast
+                or self.tracer.enabled
+                or self._gate is not None
+                or self._visit_timeouts is None
+                or getattr(self.tree, "_kid_map", None) is None
+                or getattr(self.tree, "_base", None) is None):
+            return False
+        cls = type(self)
+        return (cls.working_phase is UpcDistMem.working_phase
+                and cls.thread_main is UpcDistMem.thread_main)
+
+    def _c_phase(self, rank: int):
+        """The rank's compiled working phase, built on first use."""
+        ph = self._c_phases.get(rank)
+        if ph is None:
+            ph = self._c_phases[rank] = self._build_c_phase(rank)
+        return ph
+
+    def _build_c_phase(self, rank: int):
+        """Bind one ``repro.fastpath._core.OwnerPhase`` to this rank's
+        lock-less stack, request slot, and counters.
+
+        ``req_slot`` makes the C loop test our request variable at
+        every poll point and bounce to :meth:`service_request`; there
+        is no message endpoint, so ``poll``/``pending`` stay None.
+        """
+        from repro.fastpath import load_core
+        core = load_core()
+        sim = self.sim
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        timer = st.timer
+        wa = self.work_avail[rank]
+        vt = self._visit_timeouts_for(rank)
+
+        def enter_cb() -> None:
+            # working_phase entry: enter_state(WORKING) + surplus poke.
+            timer.enter(WORKING, sim.now)
+            wa.poke(stack.shared_chunks)
+
+        def exit_cb() -> None:
+            # working_phase exit: the NO_WORK poke and the racing-
+            # request denial already ran (in C / via the bounce).
+            timer.enter(SEARCHING, sim.now)
+
+        return core.OwnerPhase(
+            sim=sim,
+            local=stack.local,
+            shared=stack.shared,
+            shared_append=stack.shared.append,
+            shared_pop=stack.shared.pop,
+            stack=stack,
+            st_dict=st.__dict__,
+            wa=wa,
+            no_work=NO_WORK,
+            req_slot=self.request[rank],
+            poll=None,
+            pending=None,
+            enter_cb=enter_cb,
+            exit_cb=exit_cb,
+            kid_map=self.tree._kid_map,
+            children_fb=self.tree._base.children,
+            visit_costs=[t.delay for t in vt],
+            chunk=self.cfg.chunk_size,
+            thresh=self._release_threshold,
+            limit=self._poll_interval,
+        )
+
+    def _search_fused(self, ctx: UpcContext, phase) -> Generator:
+        """Drive the compiled :meth:`search_phase`.
+
+        The C loop probes and backs off; it bounces back here with
+        ``True`` when our own request slot holds a pending thief (the
+        victim-side poll at the top of each round) and with the
+        victim's rank for every steal attempt.  Both run the unmodified
+        Python protocol methods; a successful steal ends the episode
+        without re-yielding the phase."""
+        res = yield phase
+        while res is not None:
+            if res is True:
+                yield from self.service_request(ctx)
+            else:
+                self.enter_state(ctx, STEALING)
+                ok = yield from self.try_steal(ctx, res)
+                self.enter_state(ctx, SEARCHING)
+                if ok:
+                    phase.abort()
+                    return True
+            res = yield phase
+        return False
+
+    def _c_search(self, rank: int):
+        """The rank's compiled search phase, built on first use."""
+        ph = self._c_searches.get(rank)
+        if ph is None:
+            ph = self._c_searches[rank] = self._build_c_search(rank)
+        return ph
+
+    def _build_c_search(self, rank: int):
+        """Bind one ``repro.fastpath._core.SearchPhase`` to this rank's
+        probe order, cost row, work-avail slots, and request variable.
+
+        ``req_slot`` makes the C round-top test our request variable
+        and bounce ``True`` for :meth:`service_request`; the streamlined
+        search always persists while any thread still works."""
+        from repro.fastpath import load_core
+        core = load_core()
+        segments, getrandbits = self._probe_segments(rank)
+        return core.SearchPhase(
+            sim=self.sim,
+            st_dict=self.stats[rank].__dict__,
+            cycle=self.probe_orders[rank].cycle,
+            row=self._ref_row(rank),
+            slots=self._wa_slots,
+            req_slot=self.request[rank],
+            backoff_min=self.cfg.search_backoff_min,
+            backoff_factor=self.cfg.search_backoff_factor,
+            backoff_max=self.cfg.search_backoff_max,
+            slow=self.machine.contexts[rank]._slow,
+            persist=True,
+            segments=segments,
+            getrandbits=getrandbits,
+        )

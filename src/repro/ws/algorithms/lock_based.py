@@ -55,6 +55,16 @@ class LockBasedAlgorithm(AlgorithmBase):
         self._after_release_hook = (
             self._termination.resets_on_release
             or type(self).after_release is not LockBasedAlgorithm.after_release)
+        #: Compiled working-phase fusion (repro.fastpath.LockPhase):
+        #: None = undecided (gates checked at first thread resume, after
+        #: adversaries install), False = run the generator, else a
+        #: per-rank cache of LockPhase objects built on demand.
+        self._c_phases: dict = {}
+        self._fuse = None
+        #: Compiled search-phase fusion (repro.fastpath.SearchPhase):
+        #: same lifecycle; steals stay in Python via the bounce protocol.
+        self._c_searches: dict = {}
+        self._sfuse = None
 
     # -- main loop -------------------------------------------------------------
 
@@ -71,16 +81,200 @@ class LockBasedAlgorithm(AlgorithmBase):
         terminate = (self.termination_phase_park if park
                      else self.termination_phase)
         persist = term.persist_while_working
+        fuse = self._fuse
+        if fuse is None:
+            fuse = self._fuse = self._fusion_enabled()
+        phase = self._c_phase(ctx.rank) if fuse else None
+        sfuse = self._sfuse
+        if sfuse is None:
+            sfuse = self._sfuse = (
+                fuse and type(self).search_phase
+                is LockBasedAlgorithm.search_phase)
+        sphase = self._c_search(ctx.rank) if sfuse else None
         while True:
             if not self.stacks[ctx.rank].is_empty:
-                yield from self.working_phase(ctx)
-            found = yield from search(ctx, persist_while_working=persist)
+                if phase is not None:
+                    # Compiled working phase: the C dispatch loop runs
+                    # the entire deplete/release/reacquire state machine
+                    # (identical yields and counters to working_phase)
+                    # and resumes this generator when the stack drains.
+                    yield phase
+                else:
+                    yield from self.working_phase(ctx)
+            if sphase is not None:
+                found = yield from self._search_fused(ctx, sphase)
+            else:
+                found = yield from search(ctx, persist_while_working=persist)
             if found:
                 continue
             terminated = yield from terminate(ctx)
             if terminated:
                 break
         yield from self.final_reduction(ctx)
+
+    def _search_fused(self, ctx, phase) -> Generator:
+        """Drive the compiled :meth:`search_phase`.
+
+        The C loop probes and backs off; it bounces back here -- with
+        the victim's rank -- for every steal attempt, which runs the
+        unmodified Python :meth:`try_steal` protocol.  A successful
+        steal ends the episode without re-yielding the phase."""
+        res = yield phase
+        while res is not None:
+            self.enter_state(ctx, STEALING)
+            ok = yield from self.try_steal(ctx, res)
+            self.enter_state(ctx, SEARCHING)
+            if ok:
+                phase.abort()
+                return True
+            res = yield phase
+        return False
+
+    # -- compiled working-phase fusion (repro.fastpath) -----------------------
+
+    def _fusion_enabled(self) -> bool:
+        """Whether the compiled LockPhase may replace ``working_phase``.
+
+        Every gate guards a behaviour the C state machine does not
+        reproduce: the fused phase is exactly the fault-free, trace-off,
+        poll-mode, materialized-tree generator below (with at most the
+        cancelable barrier's release-reset), so anything else -- faults,
+        tracing, the idle gate, an implicit tree, a subclass override,
+        a custom termination detector -- falls back to the generator.
+        The schedules are bit-identical either way; only host speed
+        differs.
+        """
+        if (self.sim._crun is None
+                or not self._fast
+                or self.tracer.enabled
+                or self._gate is not None
+                or self._visit_timeouts is None
+                or getattr(self.tree, "_kid_map", None) is None
+                or getattr(self.tree, "_base", None) is None):
+            return False
+        cls = type(self)
+        if (cls.working_phase is not LockBasedAlgorithm.working_phase
+                or cls.after_release is not LockBasedAlgorithm.after_release):
+            return False
+        if self._after_release_hook:
+            from repro.ws.termination.cancelable_barrier import (
+                CancelableBarrier,
+            )
+            from repro.ws.termination.strategies import (
+                CancelableBarrierTermination,
+            )
+            term = self._termination
+            if type(term) is not CancelableBarrierTermination:
+                return False
+            if type(term.barrier) is not CancelableBarrier:
+                return False
+        return True
+
+    def _c_phase(self, rank: int):
+        """The rank's compiled working phase, built on first use."""
+        ph = self._c_phases.get(rank)
+        if ph is None:
+            ph = self._c_phases[rank] = self._build_c_phase(rank)
+        return ph
+
+    def _build_c_phase(self, rank: int):
+        """Bind one ``repro.fastpath._core.LockPhase`` to this rank's
+        stack, lock, and counters.
+
+        The costs handed over are the exact floats the generator's
+        precomputed Timeouts carry (``Timeout.delay`` read back, not
+        recomputed), so the C phase schedules the identical timestamps.
+        """
+        from repro.fastpath import load_core
+        core = load_core()
+        sim = self.sim
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        timer = st.timer
+        wa = self.work_avail[rank]
+        lk, lock_to, unlock_to = self._own_lock[rank]
+        fifo = lk.fifo
+        vt = self._visit_timeouts_for(rank)
+        if self._after_release_hook:
+            barrier_dict = self._termination.barrier.__dict__
+            reset_cost = self.net.shared_ref(rank, 0)
+        else:
+            barrier_dict = None
+            reset_cost = 0.0
+
+        def enter_cb() -> None:
+            # working_phase entry: enter_state(WORKING) + surplus poke.
+            timer.enter(WORKING, sim.now)
+            wa.poke(stack.shared_chunks)
+
+        def exit_cb() -> None:
+            # working_phase exit: NO_WORK poke + enter_state(SEARCHING).
+            wa.poke(NO_WORK)
+            timer.enter(SEARCHING, sim.now)
+
+        return core.LockPhase(
+            sim=sim,
+            local=stack.local,
+            shared=stack.shared,
+            shared_append=stack.shared.append,
+            shared_pop=stack.shared.pop,
+            stack=stack,
+            st_dict=st.__dict__,
+            wa=wa,
+            fifo=fifo,
+            queue=fifo._queue,
+            queue_append=fifo._queue.append,
+            queue_popleft=fifo._queue.popleft,
+            ev_name=fifo._ev_name,
+            enter_cb=enter_cb,
+            exit_cb=exit_cb,
+            kid_map=self.tree._kid_map,
+            children_fb=self.tree._base.children,
+            barrier_dict=barrier_dict,
+            visit_costs=[t.delay for t in vt],
+            lock_to=lock_to.delay if lock_to is not None else -1.0,
+            unlock_to=unlock_to.delay if unlock_to is not None else -1.0,
+            reset_cost=reset_cost,
+            home_occupancy=self.net.home_occupancy,
+            chunk=self.cfg.chunk_size,
+            thresh=self._release_threshold,
+            limit=self._poll_interval,
+        )
+
+    def _c_search(self, rank: int):
+        """The rank's compiled search phase, built on first use."""
+        ph = self._c_searches.get(rank)
+        if ph is None:
+            ph = self._c_searches[rank] = self._build_c_search(rank)
+        return ph
+
+    def _build_c_search(self, rank: int):
+        """Bind one ``repro.fastpath._core.SearchPhase`` to this rank's
+        probe order, cost row, and work-avail slots.
+
+        ``cycle`` is the rank's own :meth:`ProbeOrder.cycle`, so the C
+        loop consumes the RNG stream exactly as the generator's ``for
+        victim in cycle()`` would; ``slow`` folds in the per-thread
+        compute multiplier the same way ``ctx.compute`` does.
+        """
+        from repro.fastpath import load_core
+        core = load_core()
+        segments, getrandbits = self._probe_segments(rank)
+        return core.SearchPhase(
+            sim=self.sim,
+            st_dict=self.stats[rank].__dict__,
+            cycle=self.probe_orders[rank].cycle,
+            row=self._ref_row(rank),
+            slots=self._wa_slots,
+            req_slot=None,
+            backoff_min=self.cfg.search_backoff_min,
+            backoff_factor=self.cfg.search_backoff_factor,
+            backoff_max=self.cfg.search_backoff_max,
+            slow=self.machine.contexts[rank]._slow,
+            persist=self._termination.persist_while_working,
+            segments=segments,
+            getrandbits=getrandbits,
+        )
 
     # -- working phase ---------------------------------------------------------
 

@@ -64,6 +64,14 @@ class MpiWorkStealing(AlgorithmBase):
                        for r in range(self.machine.n_threads)]
         self.terminated = False
         self.faulty = self.faults_rt is not None
+        #: Compiled working-phase state machines (repro.fastpath), one
+        #: per rank, built lazily when the fused fast path applies.
+        self._c_phases: dict = {}
+        self._fuse = None
+        #: Compiled idle waits (repro.fastpath.IdlePhase): the backoff
+        #: polls between messages run in C; every arrival bounces back
+        #: to the Python drain/token/request iteration.
+        self._c_idles: dict = {}
         if self.faulty:
             n = self.machine.n_threads
             # Sequence-numbered steal transactions (dedup + timeout).
@@ -250,6 +258,12 @@ class MpiWorkStealing(AlgorithmBase):
         token = self.tokens[rank]
         if n == 1:
             return True  # alone: local exhaustion is global termination
+        # Fused wait (same gate as the working phase): during an idle
+        # wait the only observable change is a message landing in our
+        # mailbox -- token and request state mutate only inside our own
+        # iterations -- so the between-iteration backoff polls can run
+        # in C against the mailbox heap alone.
+        phase = self._c_idle(rank) if self._fuse else None
         outstanding: int | None = None
         backoff = self.cfg.search_backoff_min
         while True:
@@ -314,11 +328,19 @@ class MpiWorkStealing(AlgorithmBase):
                     yield from self._send(ctx, victim, REQUEST)
                 outstanding = victim
                 progressed = True
-            if progressed:
-                backoff = self.cfg.search_backoff_min
-            yield from ctx.compute(backoff)
-            backoff = min(backoff * self.cfg.search_backoff_factor,
-                          self.cfg.search_backoff_max)
+            if phase is not None:
+                # C wait loop: the compute(backoff) events and the
+                # empty-mailbox polls run compiled; control returns
+                # here as soon as a delivered message is visible.
+                if progressed:
+                    phase.reset()
+                yield phase
+            else:
+                if progressed:
+                    backoff = self.cfg.search_backoff_min
+                yield from ctx.compute(backoff)
+                backoff = min(backoff * self.cfg.search_backoff_factor,
+                              self.cfg.search_backoff_max)
 
     def _idle_handle_park(self, ctx: UpcContext, msg, stack, st,
                           token) -> Generator:
@@ -685,12 +707,143 @@ class MpiWorkStealing(AlgorithmBase):
 
     def thread_main(self, ctx: UpcContext) -> Generator:
         st = self.stats[ctx.rank]
+        rank = ctx.rank
+        fuse = self._fuse
+        if fuse is None:
+            fuse = self._fuse = self._fusion_enabled()
+        phase = self._c_phase(rank) if fuse else None
         while True:
-            if not self.stacks[ctx.rank].is_empty:
-                yield from self.working_phase(ctx)
+            if not self.stacks[rank].is_empty:
+                if phase is not None:
+                    # Compiled working phase: the C state machine runs
+                    # the poll/visit/release/reacquire loop (identical
+                    # yields and counters to working_phase) and bounces
+                    # each probed message back here for the Python
+                    # request/token handling.
+                    msg = yield phase
+                    while msg is not None:
+                        if msg.tag == REQUEST:
+                            yield from self._serve_request(ctx, msg.src,
+                                                           seq=msg.payload)
+                        else:
+                            colour = BLACK if rank == 0 else msg.payload
+                            self.tokens[rank].on_token(colour)
+                        msg = yield phase
+                else:
+                    yield from self.working_phase(ctx)
             st.barrier_entries += 1  # idle episodes (search + detection)
             done = yield from self.idle_phase(ctx)
             if done:
                 break
             st.barrier_exits += 1
         yield from self.final_reduction(ctx)
+
+    # -- compiled working-phase fusion (repro.fastpath) -----------------------
+
+    def _fusion_enabled(self) -> bool:
+        """Whether the compiled OwnerPhase may replace ``working_phase``.
+
+        Same contract as ``LockBasedAlgorithm._fusion_enabled``: the
+        fused phase reproduces exactly the fault-free, trace-off,
+        poll-mode, materialized-tree generator (probed messages bounce
+        back to the Python request/token handlers), so anything else
+        falls back.  Schedules are bit-identical either way; only host
+        speed differs.
+        """
+        if (self.sim._crun is None
+                or not self._fast
+                or self.faulty
+                or self.tracer.enabled
+                or self._gate is not None
+                or self._visit_timeouts is None
+                or getattr(self.tree, "_kid_map", None) is None
+                or getattr(self.tree, "_base", None) is None):
+            return False
+        cls = type(self)
+        return (cls.working_phase is MpiWorkStealing.working_phase
+                and cls.thread_main is MpiWorkStealing.thread_main)
+
+    def _c_phase(self, rank: int):
+        """The rank's compiled working phase, built on first use."""
+        ph = self._c_phases.get(rank)
+        if ph is None:
+            ph = self._c_phases[rank] = self._build_c_phase(rank)
+        return ph
+
+    def _build_c_phase(self, rank: int):
+        """Bind one ``repro.fastpath._core.OwnerPhase`` to this rank's
+        endpoint, mailbox, and counters.
+
+        ``poll``/``pending`` make the C loop mirror the generator's
+        ``while (msg := iprobe(tags)) is not None`` polling point --
+        the mailbox-empty / head-not-yet-arrived fast path is tested
+        inline in C, and only an actual delivery calls back into
+        Python.  No ``wa``/``req_slot``: mpi-ws has neither the
+        work_avail protocol nor a request variable.
+        """
+        from functools import partial
+
+        from repro.fastpath import load_core
+        core = load_core()
+        sim = self.sim
+        stack = self.stacks[rank]
+        st = self.stats[rank]
+        timer = st.timer
+        vt = self._visit_timeouts_for(rank)
+
+        def enter_cb() -> None:
+            # working_phase entry: enter_state(WORKING).
+            timer.enter(WORKING, sim.now)
+
+        def exit_cb() -> None:
+            # working_phase exit: enter_state(SEARCHING).
+            timer.enter(SEARCHING, sim.now)
+
+        return core.OwnerPhase(
+            sim=sim,
+            local=stack.local,
+            shared=stack.shared,
+            shared_append=stack.shared.append,
+            shared_pop=stack.shared.pop,
+            stack=stack,
+            st_dict=st.__dict__,
+            wa=None,
+            no_work=None,
+            req_slot=None,
+            poll=partial(self.endpoints[rank].iprobe, self._poll_tags),
+            pending=self.world._pending[rank],
+            enter_cb=enter_cb,
+            exit_cb=exit_cb,
+            kid_map=self.tree._kid_map,
+            children_fb=self.tree._base.children,
+            visit_costs=[t.delay for t in vt],
+            chunk=self.cfg.chunk_size,
+            thresh=self._release_threshold,
+            limit=self._poll_interval,
+        )
+
+    def _c_idle(self, rank: int):
+        """The rank's compiled idle wait, built on first use."""
+        ph = self._c_idles.get(rank)
+        if ph is None:
+            ph = self._c_idles[rank] = self._build_c_idle(rank)
+        return ph
+
+    def _build_c_idle(self, rank: int):
+        """Bind one ``repro.fastpath._core.IdlePhase`` to this rank's
+        mailbox heap.
+
+        The C loop only ever *reads* the heap head (the
+        ``_take_delivered`` fast path); popping a delivered message --
+        and everything that follows -- stays in the Python iteration.
+        """
+        from repro.fastpath import load_core
+        core = load_core()
+        return core.IdlePhase(
+            sim=self.sim,
+            pending=self.world._pending[rank],
+            backoff_min=self.cfg.search_backoff_min,
+            backoff_factor=self.cfg.search_backoff_factor,
+            backoff_max=self.cfg.search_backoff_max,
+            slow=self.machine.contexts[rank]._slow,
+        )

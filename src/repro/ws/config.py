@@ -107,6 +107,13 @@ class WsConfig:
     #: every fault hook is a no-op and timing is bit-identical to a
     #: build without the fault layer.
     faults: Optional[FaultPlan] = None
+    #: Execution backend (:mod:`repro.fastpath`): ``None``/``"auto"``
+    #: use the compiled core when built, ``"pure"`` forces the
+    #: pure-Python loops, ``"fast"`` requires the compiled core (error
+    #: when unavailable).  Both backends execute bit-identical
+    #: schedules; the ``REPRO_FASTPATH`` environment variable overrides
+    #: this at run time.
+    fastpath: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
@@ -140,6 +147,12 @@ class WsConfig:
             raise ConfigError(
                 f"idle_strategy must be 'poll' or 'park', got "
                 f"{self.idle_strategy!r}"
+            )
+        if self.fastpath is not None and self.fastpath not in (
+                "auto", "pure", "fast"):
+            raise ConfigError(
+                f"fastpath must be auto/pure/fast or None, got "
+                f"{self.fastpath!r}"
             )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ConfigError(

@@ -1,0 +1,164 @@
+"""Backend selection: resolve(), the env override, and config surface.
+
+The contract under test (see ``repro/fastpath/__init__.py``):
+
+* ``"pure"`` always resolves to pure; ``"auto"`` prefers the compiled
+  core but silently falls back; an *explicit* ``"fast"`` raises
+  :class:`ConfigError` when the extension is unavailable.
+* ``REPRO_FASTPATH`` overrides the request from either direction.
+* The knob is reachable from ``WsConfig``, ``Simulator``, and
+  ``run_experiment``, and ``Simulator.fastpath_active`` reports what
+  actually got selected.
+"""
+
+import pytest
+
+import repro.fastpath as fp
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+from repro.ws.config import WsConfig
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """No REPRO_FASTPATH inherited from the invoking shell."""
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+
+
+@pytest.fixture
+def core_absent(monkeypatch):
+    """Pretend the extension failed to import (cache poked directly)."""
+    monkeypatch.setattr(fp, "_core_loaded", True)
+    monkeypatch.setattr(fp, "_core_mod", None)
+    monkeypatch.setattr(fp, "_core_error", "extension not built (test)")
+
+
+@pytest.fixture
+def core_present(monkeypatch):
+    """Pretend the extension is importable (any truthy module object)."""
+    monkeypatch.setattr(fp, "_core_loaded", True)
+    monkeypatch.setattr(fp, "_core_mod", object())
+    monkeypatch.setattr(fp, "_core_error", None)
+
+
+# -- resolve() -------------------------------------------------------
+
+def test_pure_always_resolves_pure(clean_env, core_present):
+    assert fp.resolve("pure") == "pure"
+
+
+def test_auto_prefers_fast_when_available(clean_env, core_present):
+    assert fp.resolve("auto") == "fast"
+    assert fp.resolve(None) == "fast"
+
+
+def test_auto_falls_back_when_unavailable(clean_env, core_absent):
+    assert fp.resolve("auto") == "pure"
+    assert not fp.available()
+    assert "not built" in fp.why_unavailable()
+
+
+def test_forced_fast_unavailable_raises(clean_env, core_absent):
+    with pytest.raises(ConfigError, match="unavailable"):
+        fp.resolve("fast")
+
+
+def test_forced_fast_available_resolves_fast(clean_env, core_present):
+    assert fp.resolve("fast") == "fast"
+
+
+def test_bad_request_raises(clean_env):
+    with pytest.raises(ConfigError, match="fastpath"):
+        fp.resolve("on")
+    with pytest.raises(ConfigError, match="fastpath"):
+        fp.resolve("off")
+
+
+# -- REPRO_FASTPATH override -----------------------------------------
+
+@pytest.mark.parametrize("raw", ["0", "off", "pure", "false"])
+def test_env_forces_pure_over_any_request(monkeypatch, core_present, raw):
+    monkeypatch.setenv("REPRO_FASTPATH", raw)
+    assert fp.env_mode() == "pure"
+    assert fp.resolve("auto") == "pure"
+    assert fp.resolve("fast") == "pure"  # env wins, no error
+
+
+@pytest.mark.parametrize("raw", ["1", "on", "fast", "true"])
+def test_env_forces_fast(monkeypatch, core_present, raw):
+    monkeypatch.setenv("REPRO_FASTPATH", raw)
+    assert fp.env_mode() == "fast"
+    assert fp.resolve("pure") == "fast"
+
+
+def test_env_forced_fast_unavailable_raises(monkeypatch, core_absent):
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    with pytest.raises(ConfigError, match="unavailable"):
+        fp.resolve("auto")
+
+
+@pytest.mark.parametrize("raw", ["", "auto"])
+def test_env_auto_defers_to_request(monkeypatch, core_absent, raw):
+    monkeypatch.setenv("REPRO_FASTPATH", raw)
+    assert fp.env_mode() is None
+    assert fp.resolve("pure") == "pure"
+    assert fp.resolve("auto") == "pure"
+
+
+def test_env_garbage_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH", "sometimes")
+    with pytest.raises(ConfigError, match="REPRO_FASTPATH"):
+        fp.env_mode()
+
+
+# -- vectorized tree construction ------------------------------------
+
+def test_vector_expansion_disabled_by_pure_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert not fp.vector_expansion_enabled()
+
+
+def test_vector_expansion_tracks_numpy(clean_env, monkeypatch):
+    from repro.fastpath import nputs
+    monkeypatch.setattr(nputs, "HAVE_NUMPY", False)
+    assert not fp.vector_expansion_enabled()
+    monkeypatch.setattr(nputs, "HAVE_NUMPY", True)
+    assert fp.vector_expansion_enabled()
+
+
+# -- config / simulator surface --------------------------------------
+
+def test_wsconfig_rejects_bad_fastpath():
+    with pytest.raises(ConfigError, match="fastpath"):
+        WsConfig(fastpath="off")
+
+
+@pytest.mark.parametrize("mode", [None, "auto", "pure", "fast"])
+def test_wsconfig_accepts_modes(mode, clean_env, core_present):
+    assert WsConfig(fastpath=mode).fastpath == mode
+
+
+def test_simulator_pure_never_active(clean_env):
+    sim = Simulator(fastpath="pure")
+    assert sim.fastpath == "pure"
+    assert not sim.fastpath_active
+
+
+def test_simulator_fast_active_when_built(clean_env):
+    if not fp.available():
+        pytest.skip("extension not built on this host")
+    sim = Simulator(fastpath="fast")
+    assert sim.fastpath == "fast"
+    assert sim.fastpath_active
+
+
+def test_simulator_rejects_bad_mode(clean_env):
+    with pytest.raises(ConfigError, match="fastpath"):
+        Simulator(fastpath="compiled")
+
+
+def test_describe_inventory_keys(clean_env):
+    info = fp.describe()
+    assert set(info) >= {"core_available", "numpy_available",
+                         "resolved_auto", "env"}
+    assert info["resolved_auto"] in ("pure", "fast")

@@ -22,6 +22,8 @@ Usage::
 
     PYTHONPATH=src python tools/bench_engine.py --out BENCH_engine.json
     PYTHONPATH=src python tools/bench_engine.py --check   # CI gate
+    PYTHONPATH=src python tools/bench_engine.py --check --backend fast
+    PYTHONPATH=src python tools/bench_engine.py --check --backend pure
 
 ``--check`` exits non-zero only on hard correctness drift (engine
 events or checksum differ from the committed baseline); wall-clock is
@@ -41,7 +43,9 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import fastpath  # noqa: E402
 from repro.harness.config import setup_for  # noqa: E402
+from repro.harness.parallel import shared_tree  # noqa: E402
 from repro.harness.sweep import run_sweep  # noqa: E402
 
 
@@ -64,9 +68,18 @@ def measure(figure: str, scale: str, threads: int = None) -> dict:
     setup = setup_for(figure, scale)
     if threads is not None:
         setup = dataclasses.replace(setup, thread_counts=[threads])
+    # Phase 1: tree expansion.  Warm the process-wide tree cache under
+    # its own clock so the sweep wall-clock below is dispatch + setup
+    # only -- this is where the vectorized builder (fastpath.nputs)
+    # shows up, separately from the compiled dispatch core.
+    te0 = time.perf_counter()
+    shared_tree(setup.tree)
+    tree_seconds = time.perf_counter() - te0
     t0 = time.perf_counter()
     sweep = run_sweep(setup, jobs=1)
-    wall = time.perf_counter() - t0
+    # wall covers expansion + sweep, as it did before the phase split
+    # -- the committed seed baseline was measured that way.
+    wall = tree_seconds + time.perf_counter() - t0
     events = sum(r.engine_events for r in sweep.runs)
     # Phase split: each run's host_seconds covers machine.run() only,
     # so the residual is per-run setup (tree lookup, machine and
@@ -88,6 +101,15 @@ def measure(figure: str, scale: str, threads: int = None) -> dict:
         "wall_seconds": round(wall, 3),
         "run_seconds": round(run_seconds, 3),
         "setup_seconds": round(wall - run_seconds, 3),
+        "backend": fastpath.resolve("auto"),
+        "phases": {
+            # Tree expansion vs event dispatch: the two hot loops the
+            # fastpath backend compiles, timed separately.
+            "tree_expand_seconds": round(tree_seconds, 3),
+            "dispatch_seconds": round(run_seconds, 3),
+            "other_setup_seconds": round(
+                wall - run_seconds - tree_seconds, 3),
+        },
         "runs": len(sweep.runs),
         "engine_events": events,
         "events_per_sec": round(events / wall, 1),
@@ -105,6 +127,14 @@ def main(argv=None) -> int:
                          "value (ad-hoc scaling probes; --check compares "
                          "against the committed default-threads baseline, "
                          "so combine them only deliberately)")
+    ap.add_argument("--backend", choices=["auto", "pure", "fast"],
+                    default="auto",
+                    help="execution backend (repro.fastpath): 'auto' "
+                         "uses the compiled core when built, 'pure' "
+                         "forces the pure-Python loops (written to a "
+                         "side file so the committed measurement is "
+                         "not clobbered), 'fast' fails if the "
+                         "extension is unavailable (CI)")
     ap.add_argument("--out", default="BENCH_engine.json")
     ap.add_argument("--record-seed", action="store_true",
                     help="store this measurement as the seed_serial "
@@ -114,22 +144,40 @@ def main(argv=None) -> int:
                          "vs the committed baseline (wall-clock is "
                          "reported, not gated)")
     args = ap.parse_args(argv)
+    if args.backend != "auto":
+        # The env override wins everywhere (config, Simulator,
+        # vectorized tree construction), so one knob forces the whole
+        # measurement onto the requested backend.
+        os.environ["REPRO_FASTPATH"] = args.backend
+    backend = fastpath.resolve(args.backend)  # fail early on forced fast
+    baseline_path = args.out
     if args.threads is not None and args.out == "BENCH_engine.json":
         # An off-baseline probe must not clobber the committed gate file.
         args.out = f"BENCH_engine_t{args.threads}.json"
+        baseline_path = args.out
         print(f"--threads override: writing to {args.out}")
+    elif args.backend == "pure" and args.out == "BENCH_engine.json":
+        # A pure-backend run proves cross-backend schedule identity
+        # against the committed gate file, so keep reading the
+        # baseline from it -- but write elsewhere so the committed
+        # compiled-backend measurement survives.
+        args.out = "BENCH_engine_pure.json"
+        print(f"--backend pure: writing to {args.out} "
+              f"(baseline stays {baseline_path})")
 
     committed = None
-    if os.path.exists(args.out):
-        with open(args.out) as fh:
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
             committed = json.load(fh)
 
     print(f"benchmarking engine on {args.figure}[{args.scale}] "
-          "serial sweep", flush=True)
+          f"serial sweep (backend: {backend})", flush=True)
     current = measure(args.figure, args.scale, threads=args.threads)
+    ph = current["phases"]
     print(f"engine: {current['wall_seconds']:.1f}s "
-          f"(run {current['run_seconds']:.1f}s + setup "
-          f"{current['setup_seconds']:.1f}s) "
+          f"(dispatch {ph['dispatch_seconds']:.1f}s + setup "
+          f"{ph['other_setup_seconds']:.1f}s; tree expansion "
+          f"{ph['tree_expand_seconds']:.1f}s) "
           f"{current['events_per_sec']:.0f} events/sec", flush=True)
 
     if args.record_seed or committed is None:
@@ -147,6 +195,7 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
+        "fastpath": fastpath.describe(),
         "seed_serial": seed,
         "optimized": current,
         "speedup_vs_seed": round(

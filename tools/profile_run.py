@@ -30,6 +30,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import fastpath  # noqa: E402
 from repro.harness.config import setup_for  # noqa: E402
 from repro.harness.sweep import run_sweep  # noqa: E402
 
@@ -38,6 +39,11 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--figure", default="fig4")
     ap.add_argument("--scale", default="quick")
+    ap.add_argument("--backend", choices=["auto", "pure", "fast"],
+                    default="auto",
+                    help="execution backend (repro.fastpath): profile "
+                         "the pure-Python loops with 'pure', require "
+                         "the compiled core with 'fast'")
     ap.add_argument("--threads", type=int, default=None,
                     help="override the figure's thread counts with one "
                          "value (profile scaling hot paths, e.g. 1024)")
@@ -51,10 +57,22 @@ def main(argv=None) -> int:
                          "(inspect later with pstats/snakeviz)")
     args = ap.parse_args(argv)
 
+    if args.backend != "auto":
+        os.environ["REPRO_FASTPATH"] = args.backend
+    backend = fastpath.resolve(args.backend)  # fail early on forced fast
     setup = setup_for(args.figure, args.scale)
     if args.threads is not None:
         setup = dataclasses.replace(setup, thread_counts=[args.threads])
+    info = fastpath.describe()
+    core = ("core built" if info["core_available"]
+            else f"core unavailable: {info['core_unavailable_reason']}")
     print(f"profiling {setup.describe()} (serial, cache on)", flush=True)
+    print(f"fastpath backend: {backend} ({core}; numpy "
+          f"{'yes' if info['numpy_available'] else 'no'})", flush=True)
+    if backend == "fast":
+        print("note: compiled frames (repro.fastpath._core) do not "
+              "appear in cProfile output -- their cost shows up in "
+              "the caller's tottime", flush=True)
 
     profiler = cProfile.Profile()
     profiler.enable()
