@@ -37,6 +37,23 @@ I5  Lock acquire/release pairing: a lock is released only by its
     current holder and never acquired while held (fail-stops forgive
     the corpse's holdings, mirroring ``GlobalLock.on_thread_death``).
 
+Relaxed forms (algorithms with ``multiplicity_relaxed = True``, i.e.
+fence-free stealing where a chunk may legitimately be extracted more
+than once but never lost):
+
+I1' Duplication ledger consistency: the per-node extra-copy allowances
+    the algorithm granted sum to exactly its total duplicated work
+    (``sum(dup_extra.values()) == dup_work``), and the duplicated
+    chunk-node count never exceeds the duplicated subtree work
+    (``dup_nodes <= dup_work``).  The strict I1 stack ledger still
+    holds verbatim -- duplicate copies enter through regular pushes.
+
+I3' Bounded multiplicity per node: a node descriptor may appear at
+    most ``1 + dup_extra[node]`` times across all local regions,
+    shared chunks, and in-flight transfer journals.  Unbounded or
+    unaccounted duplication is still a violation; only the exact,
+    ledgered copies the protocol's racy window produced are allowed.
+
 A violation raises :class:`~repro.errors.InvariantViolation` from
 inside the run, freezing the schedule at the first inconsistent state.
 """
@@ -53,9 +70,10 @@ __all__ = ["InvariantMonitor"]
 #: (cheap emits like ``visit`` fall back to the periodic scan).
 _SCAN_KINDS = frozenset({"steal", "service", "chunk.get"})
 #: Emits that declare (or relay) global termination.  ``service.close``
-#: is the open-system analogue: the stream's exact drain declaration.
+#: is the open-system analogue: the stream's exact drain declaration;
+#: ``tsplit.term`` is tree-split's empty rebalance round.
 _TERM_KINDS = frozenset({"sbarrier.announce", "cbarrier.terminate",
-                         "mpi.term", "service.close"})
+                         "mpi.term", "service.close", "tsplit.term"})
 #: Emits after which a rank's lock holdings are forgiven (fail-stop).
 _DEATH_KINDS = frozenset({"fault.kill", "sim.interrupt"})
 
@@ -84,12 +102,17 @@ class InvariantMonitor:
         self.terminations_seen = 0
         self._emits = 0
         self._scannable = True  # cleared if node descriptors unhashable
+        #: True once bound to a multiplicity-relaxed algorithm: the
+        #: ownership scan checks the bounded form I3' and the ledger
+        #: pass adds the I1' duplication checks.
+        self._relaxed = False
 
     # -- binding -----------------------------------------------------------
 
     def attach_algorithm(self, algo) -> None:
         self.algo = algo
         self.machine = algo.machine
+        self._relaxed = bool(getattr(algo, "multiplicity_relaxed", False))
 
     # -- tracer protocol ---------------------------------------------------
 
@@ -177,6 +200,22 @@ class InvariantMonitor:
         if algo.in_flight_nodes < 0:
             self._fail(time, kind,
                        f"in_flight_nodes negative ({algo.in_flight_nodes})")
+        if self._relaxed:
+            # I1': the duplication ledger must be internally exact --
+            # every granted extra-copy allowance traces to duplicated
+            # subtree work, and chunk-level counts bound subtree work.
+            if not getattr(algo, "_dup_unhashable", False):
+                extra_sum = sum(algo.dup_extra.values())
+                if extra_sum != algo.dup_work:
+                    self._fail(
+                        time, kind,
+                        f"I1' duplication ledger: per-node extras sum to "
+                        f"{extra_sum} but dup_work={algo.dup_work}")
+            if algo.dup_nodes > algo.dup_work:
+                self._fail(
+                    time, kind,
+                    f"I1' duplication ledger: dup_nodes={algo.dup_nodes} "
+                    f"exceeds dup_work={algo.dup_work}")
         if faults is not None:
             on_stack = faults.counters.lost_nodes_on_stack
             in_flight = faults.counters.lost_nodes_in_flight
@@ -204,8 +243,14 @@ class InvariantMonitor:
         self.checks += 1
 
     def _scan_ownership(self, time: float, kind: str) -> None:
-        """I3: every node descriptor lives in exactly one place."""
+        """I3: every node descriptor lives in exactly one place.
+
+        Multiplicity-relaxed algorithms get the bounded form I3'
+        instead (:meth:`_scan_multiplicity`)."""
         if not self._scannable:
+            return
+        if self._relaxed:
+            self._scan_multiplicity(time, kind)
             return
         algo = self.algo
         owner: dict = {}
@@ -249,6 +294,53 @@ class InvariantMonitor:
                                    f"node {node!r} owned twice: {prev} and "
                                    f"T{thief}.response")
                     owner[node] = f"T{thief}.response"
+        self.checks += 1
+
+    def _scan_multiplicity(self, time: float, kind: str) -> None:
+        """I3': a node may appear at most ``1 + dup_extra[node]`` times.
+
+        The +1 is the node's original; every extra appearance must be
+        covered by an allowance the algorithm ledgered at the exact
+        duplicate-extraction instant (``steal.dup``).  The allowance
+        only ever grows, so the bound is sound at every scan even after
+        copies (or originals) have been visited and consumed.
+        """
+        algo = self.algo
+        if getattr(algo, "_dup_unhashable", False):
+            # Per-node accounting was abandoned (unhashable custom
+            # descriptors); the scan is meaningless too.
+            self._scannable = False
+            return
+        counts: dict = {}
+        try:
+            for stack in algo.stacks:
+                for node in stack.local:
+                    counts[node] = counts.get(node, 0) + 1
+                for chunk in stack.shared:
+                    for node in chunk:
+                        counts[node] = counts.get(node, 0) + 1
+        except TypeError:
+            self._scannable = False
+            return
+        faults = self.machine.faults
+        if faults is not None:
+            for nodes in faults._open_transfer.values():
+                for node in nodes:
+                    counts[node] = counts.get(node, 0) + 1
+            for nodes in faults._responses.values():
+                for node in nodes:
+                    counts[node] = counts.get(node, 0) + 1
+        extra = algo.dup_extra
+        for node, cnt in counts.items():
+            if cnt > 1:
+                allowed = 1 + extra.get(node, 0)
+                if cnt > allowed:
+                    self._fail(
+                        time, kind,
+                        f"I3' multiplicity: node {node!r} appears {cnt} "
+                        f"time(s) but only {allowed} allowed "
+                        f"(1 original + {allowed - 1} ledgered cop"
+                        f"{'y' if allowed == 2 else 'ies'})")
         self.checks += 1
 
     def _check_termination(self, time: float, thread: int, kind: str) -> None:

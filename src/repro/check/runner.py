@@ -26,7 +26,8 @@ __all__ = ["CheckOutcome", "check_run", "check_service_run", "VARIANTS"]
 
 #: Every registered algorithm label, figure order then extensions.
 VARIANTS = ("upc-sharedmem", "upc-term", "upc-term-rapdif",
-            "upc-distmem", "upc-distmem-hier", "mpi-ws")
+            "upc-distmem", "upc-distmem-hier", "mpi-ws",
+            "ws-fencefree", "tree-split")
 
 
 @dataclass
@@ -41,6 +42,8 @@ class CheckOutcome:
     total_nodes: int = 0
     sim_time: float = 0.0
     lost_work: int = 0
+    #: Ledgered duplicated work (multiplicity-relaxed variants only).
+    dup_work: int = 0
     monitor: dict = field(default_factory=dict)
 
     def label(self) -> str:
@@ -122,6 +125,13 @@ def check_run(
             config=cfg, seed=seed, verify=verify,
             tracer=monitor, max_events=max_events, faults=plan,
             tie_break=tie_break, queue=queue,
+            # Fuzzer cells never run compiled fusion: the monitor's
+            # emit hooks and the tie-break/fault machinery must see
+            # every transition from the Python loops.  Schedules are
+            # pinned bit-identical across backends, so outcomes are
+            # unchanged; tests/fastpath/test_selection.py asserts
+            # Simulator.fastpath_active stays False under check.
+            fastpath="pure",
         )
         monitor.final_check()
     except ReproError as exc:
@@ -136,6 +146,7 @@ def check_run(
         ok=True, variant=variant,
         engine_events=res.engine_events, total_nodes=res.total_nodes,
         sim_time=res.sim_time, lost_work=res.lost_work,
+        dup_work=res.dup_work,
         monitor=monitor.summary(),
     )
 
@@ -193,6 +204,7 @@ def check_service_run(
             service, threads=threads, preset=preset, config=cfg, seed=seed,
             tracer=monitor, max_events=max_events, faults=plan,
             tie_break=tie_break, queue=queue,
+            fastpath="pure",  # same contract as check_run above
         )
         monitor.final_check()
     except ReproError as exc:

@@ -225,6 +225,24 @@ class FaultPlan:
         return tuple(out)
 
     @property
+    def fault_classes(self) -> Tuple[str, ...]:
+        """Every fault class this plan can inject (spec-key names).
+
+        The non-fail-stop classes plus ``kill`` (scheduled or
+        storm-burst) and ``slow`` (throttled ranks).  Algorithms
+        declare the classes they tolerate (``fault_classes`` class
+        attribute on :class:`~repro.ws.algorithms.base.AlgorithmBase`)
+        and the sweep tooling filters (variant, plan) cells on this
+        same property, so both layers agree on what a plan contains.
+        """
+        out = list(self.non_failstop_classes)
+        if self.has_kills:
+            out.append("kill")
+        if self.slow_ranks:
+            out.append("slow")
+        return tuple(out)
+
+    @property
     def suspect_after(self) -> float:
         """Silence needed before the failure detector suspects a rank."""
         return self.heartbeat_period * self.heartbeat_miss

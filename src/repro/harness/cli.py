@@ -255,6 +255,9 @@ def _run_single(args: argparse.Namespace) -> int:
                          queue=args.queue, fastpath=args.fastpath)
     print(res.summary())
     print(f"working-state share: {100 * res.working_fraction:.1f}%")
+    if res.dup_work:
+        print(f"duplicated work: {res.dup_work} node(s) "
+              f"(relaxed-steal ledger; total includes duplicates)")
     if res.fault_counters is not None:
         print(f"lost work: {res.lost_work} node(s)")
         nz = res.fault_counters.nonzero()

@@ -192,6 +192,7 @@ def run_experiment(
         host_seconds=host_seconds,
         engine_events=machine.sim.events_processed,
         lost_work=lost_work,
+        dup_work=getattr(algo, "dup_work", 0),
         fault_counters=fault_rt.counters if fault_rt is not None else None,
     )
     if isinstance(tracer, TraceSink):

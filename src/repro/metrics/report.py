@@ -42,6 +42,11 @@ class RunResult:
     #: size under every lost descriptor.  Zero on fault-free runs and
     #: under delay/duplication-only fault plans.
     lost_work: int = 0
+    #: Nodes legitimately visited more than once by a
+    #: multiplicity-relaxed algorithm (fence-free stealing): the exact
+    #: subtree size under every duplicated chunk descriptor.  Zero for
+    #: every strict (single-owner) variant.
+    dup_work: int = 0
     #: Per-fault-type injection and recovery counters; None on
     #: fault-free runs.
     fault_counters: Optional[FaultCounters] = field(default=None, repr=False)
@@ -93,13 +98,16 @@ class RunResult:
         parallel count must equal the sequential count exactly.  Under
         fail-stop faults the count may fall short, but only by exactly
         :attr:`lost_work` -- the provable size of the destroyed
-        subtrees.  Any other gap is a protocol bug.
+        subtrees.  A multiplicity-relaxed algorithm may *overcount*,
+        but only by exactly :attr:`dup_work` -- the ledgered size of
+        every duplicated subtree.  Any other gap is a protocol bug.
         """
-        if self.total_nodes + self.lost_work != expected_nodes:
+        if self.total_nodes + self.lost_work != expected_nodes + self.dup_work:
             raise ProtocolError(
                 f"{self.algorithm} on {self.n_threads} threads counted "
                 f"{self.total_nodes} nodes + {self.lost_work} provably "
-                f"lost, expected {expected_nodes} (lost/duplicated work)"
+                f"lost, expected {expected_nodes} + {self.dup_work} "
+                f"ledgered duplicate(s) (lost/duplicated work)"
             )
 
     def summary(self) -> str:

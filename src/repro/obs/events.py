@@ -47,6 +47,9 @@ EVENT_SCHEMA: Dict[str, str] = {
     "steal": "steal succeeded, nodes in hand; args: from, chunks, nodes",
     "steal.fail": "steal attempt ended empty; args: victim, reason "
                   "(busy|raced|empty|denied|giveup|timeout)",
+    "steal.dup": "fence-free claim resolved to an already-claimed chunk: "
+                 "the thief took a ledgered duplicate copy; args: victim, "
+                 "idx (era index), nodes, work (duplicated subtree size)",
     # -- steal protocol (victim side) ---------------------------------
     "service": "victim answered a steal request (chunks=0 on a denial); "
                "args: thief, chunks",
@@ -72,6 +75,11 @@ EVENT_SCHEMA: Dict[str, str] = {
     "token.hop": "termination token forwarded along the ring; args: to, "
                  "colour [, round, deficit]",
     "mpi.term": "rank 0 broadcast TERM",
+    "tsplit.rebalance": "tree-split rebalance round repartitioned loads "
+                        "(emitted after every move landed); args: round, "
+                        "moves, nodes",
+    "tsplit.term": "tree-split rebalance round found the machine empty "
+                   "(global termination); args: round",
     # -- fault injections ----------------------------------------------
     "fault.kill": "thread fail-stopped (rank = victim of the kill)",
     "fault.drop": "control message dropped; args: src, tag",

@@ -1,30 +1,39 @@
-"""The five load-balancing implementations (Figure 3 legend).
+"""The load-balancing implementations (Figure 3 legend + extensions).
 
 ========================  ======================================  ==========
-Label                     Description                             Paper sect.
+Label                     Description                             Source
 ========================  ======================================  ==========
-``upc-sharedmem``         lock-based stacks + cancelable barrier  3.1
-``upc-term``              + streamlined termination               3.3.1
-``upc-term-rapdif``       + rapid diffusion (steal half)          3.3.2
-``upc-distmem``           + lock-less stack (request/response)    3.3.3
-``mpi-ws``                message-passing work stealing           3.2
+``upc-sharedmem``         lock-based stacks + cancelable barrier  Sect. 3.1
+``upc-term``              + streamlined termination               Sect. 3.3.1
+``upc-term-rapdif``       + rapid diffusion (steal half)          Sect. 3.3.2
+``upc-distmem``           + lock-less stack (request/response)    Sect. 3.3.3
+``mpi-ws``                message-passing work stealing           Sect. 3.2
 ``upc-distmem-hier``      distmem + node-local-first probing      6.2 (ext.)
+``ws-fencefree``          fence-free steal, multiplicity allowed  2008.04424
+``tree-split``            bulk-synchronous tree splitting         1710.00122
 ========================  ======================================  ==========
+
+The last two are post-2008 designs landed as sixth/seventh variants:
+``ws-fencefree`` relaxes correctness (duplication bounded, never loss;
+see I1'/I3' in :mod:`repro.check.invariants`) and ``tree-split`` is the
+non-work-stealing baseline the E14 ablation compares against.
 """
 
 from repro.errors import ConfigError
 from repro.ws.algorithms.base import AlgorithmBase
 from repro.ws.algorithms.distmem import UpcDistMem
 from repro.ws.algorithms.distmem_hier import UpcDistMemHier
+from repro.ws.algorithms.fencefree import WsFenceFree
 from repro.ws.algorithms.mpi_ws import MpiWorkStealing
 from repro.ws.algorithms.rapdif import UpcTermRapdif
 from repro.ws.algorithms.shared_mem import UpcSharedMem
 from repro.ws.algorithms.term import UpcTerm
+from repro.ws.algorithms.treesplit import TreeSplit
 
 ALGORITHMS = {
     cls.name: cls
     for cls in (UpcSharedMem, UpcTerm, UpcTermRapdif, UpcDistMem,
-                MpiWorkStealing, UpcDistMemHier)
+                MpiWorkStealing, UpcDistMemHier, WsFenceFree, TreeSplit)
 }
 
 #: The order used in the paper's figures (best first).
@@ -50,6 +59,8 @@ __all__ = [
     "UpcTermRapdif",
     "UpcDistMem",
     "MpiWorkStealing",
+    "WsFenceFree",
+    "TreeSplit",
     "ALGORITHMS",
     "FIGURE_ORDER",
     "get_algorithm",

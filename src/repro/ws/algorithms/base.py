@@ -58,6 +58,26 @@ class AlgorithmBase:
     #: its native default); ``WsConfig.termination_policy`` must name
     #: one of these.  The abstract base has no detector.
     termination_policies: tuple = ("none",)
+    #: Steal-amount keys ``WsConfig.steal_policy`` may override with.
+    #: Most algorithms accept any registered amount; algorithms whose
+    #: transfer protocol is structurally single-chunk (the fence-free
+    #: claim moves exactly one index) restrict this tuple.
+    steal_policies: tuple = ("all", "half", "one")
+    #: Victim-policy keys ``WsConfig.victim_policy`` may override with.
+    #: Algorithms that never probe victims (tree-split) restrict this.
+    victim_policies: tuple = ("hierarchical", "uniform")
+    #: Fault classes (``FaultPlan.fault_classes`` names) this algorithm
+    #: tolerates, or None for the full catalog.  Restricted algorithms
+    #: reject plans carrying anything else at construction -- e.g. the
+    #: fence-free variant has no locks to stall and no fail-stop
+    #: recovery story, so only ``stale`` windows make sense for it.
+    fault_classes: tuple = None
+    #: True when this algorithm may legitimately *duplicate* work
+    #: (relaxed-semantics stealing with multiplicity): the invariant
+    #: monitor then checks the bounded-multiplicity forms I1'/I3'
+    #: against the algorithm's ``dup_extra``/``dup_work`` ledger
+    #: instead of the strict single-owner forms.
+    multiplicity_relaxed: bool = False
     #: Message tags the fault layer may drop for this algorithm.  Only
     #: the *control* channel is lossy; work payloads are delay-only
     #: (reliable transport), so dropped messages cost retries, not
@@ -74,6 +94,15 @@ class AlgorithmBase:
         #: Fault runtime when this run injects faults, else None.  All
         #: recovery paths key off this single attribute.
         self.faults_rt = machine.faults
+        if self.faults_rt is not None and type(self).fault_classes is not None:
+            allowed = type(self).fault_classes
+            bad = sorted(set(self.faults_rt.plan.fault_classes)
+                         - set(allowed))
+            if bad:
+                raise ConfigError(
+                    f"{self.name} supports fault classes {sorted(allowed)}; "
+                    f"plan contains: {', '.join(bad)}"
+                )
         # Effective per-node visit time: the platform's sequential rate
         # scaled by the workload's compute granularity (UTS knob for
         # more expensive state evaluation).
@@ -84,7 +113,20 @@ class AlgorithmBase:
             # Ablation hook: override the algorithm's native policy
             # (registry lookup resolves to the same function objects
             # the class attributes use, so ablations stay identical).
+            supported = type(self).steal_policies
+            if cfg.steal_policy not in supported:
+                raise ConfigError(
+                    f"{self.name} supports steal policies "
+                    f"{sorted(supported)}; got {cfg.steal_policy!r}"
+                )
             self.steal_amount = STEAL_AMOUNTS.get(cfg.steal_policy)
+        if cfg.victim_policy is not None \
+                and cfg.victim_policy not in type(self).victim_policies:
+            raise ConfigError(
+                f"{self.name} supports victim policies "
+                f"{sorted(type(self).victim_policies)}; "
+                f"got {cfg.victim_policy!r}"
+            )
         n = machine.n_threads
         self.stacks = [SplitStack() for _ in range(n)]
         self.stats = [

@@ -58,7 +58,7 @@ from repro.ws.policies import (HierarchicalProbeOrder, ProbeOrder, steal_all,
                                steal_half, steal_one)
 
 __all__ = ["PolicyRegistry", "STEAL_AMOUNTS", "VICTIM_POLICIES",
-           "TERMINATION_POLICIES"]
+           "TERMINATION_POLICIES", "VARIANT_TRIPLES", "variant_triple"]
 
 T = TypeVar("T")
 
@@ -138,9 +138,39 @@ def _termination_factory(key: str) -> Callable:
 
 
 #: Termination-detection policies: factories ``(algorithm) -> strategy``.
-#: ``"token"`` (mpi-ws) and ``"none"`` (service pool) are markers for
-#: algorithms whose detection is fused into their own idle loops.
+#: ``"token"`` (mpi-ws) and ``"none"`` (service pool, tree-split) are
+#: markers for algorithms whose detection is fused into their own idle
+#: loops.
 TERMINATION_POLICIES: PolicyRegistry = PolicyRegistry("termination policy")
 for _key in ("cancelable-barrier", "streamlined", "token", "none"):
     TERMINATION_POLICIES.register(_key, _termination_factory(_key))
 del _key
+
+
+#: Every variant as its native ``(steal, victim, termination)`` triple
+#: -- the registry keys the algorithm resolves when the config leaves
+#: all three axes at None.  The consistency test in
+#: ``tests/ws/test_registry_gating.py`` checks each triple against the
+#: class attributes, so this table cannot drift from the code.
+VARIANT_TRIPLES: Dict[str, tuple] = {
+    "upc-sharedmem": ("one", "uniform", "cancelable-barrier"),
+    "upc-term": ("one", "uniform", "streamlined"),
+    "upc-term-rapdif": ("half", "uniform", "streamlined"),
+    "upc-distmem": ("half", "uniform", "streamlined"),
+    "upc-distmem-hier": ("half", "hierarchical", "streamlined"),
+    "mpi-ws": ("one", "uniform", "token"),
+    "ws-fencefree": ("one", "uniform", "streamlined"),
+    "tree-split": ("one", "uniform", "none"),
+}
+
+
+def variant_triple(name: str) -> tuple:
+    """The native ``(steal, victim, termination)`` triple of a variant,
+    or a ConfigError naming the registered variants."""
+    try:
+        return VARIANT_TRIPLES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown variant {name!r}; "
+            f"registered: {sorted(VARIANT_TRIPLES)}"
+        ) from None

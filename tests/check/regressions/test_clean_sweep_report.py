@@ -1,9 +1,10 @@
 """Pin the committed clean-sweep evidence (see README.md here).
 
 The report is an artifact of the acceptance sweep that introduced the
-schedule harness; this test keeps the committed copy honest -- if the
-file is edited, regenerated with failures, or shrunk below the sweep
-it claims to be, the suite says so.
+schedule harness (refreshed when the relaxed-multiplicity variants
+joined the matrix); this test keeps the committed copy honest -- if
+the file is edited, regenerated with failures, or shrunk below the
+sweep it claims to be, the suite says so.
 """
 
 import json
@@ -16,12 +17,37 @@ def test_committed_sweep_is_clean_and_complete():
     report = json.loads(REPORT.read_text())
     assert report["totals"]["failed"] == 0
     assert report["failures"] == [] and report["shrunk"] == []
-    assert report["totals"]["cells"] >= 555
+    assert report["totals"]["cells"] >= 1000
     assert set(report["meta"]["variants"]) == {
         "upc-sharedmem", "upc-term", "upc-term-rapdif",
-        "upc-distmem", "upc-distmem-hier", "mpi-ws"}
+        "upc-distmem", "upc-distmem-hier", "mpi-ws",
+        "ws-fencefree", "tree-split"}
     by_mode = report["totals"]["by_mode"]
-    assert by_mode["canonical"]["cells"] == 6
-    assert by_mode["random"]["cells"] >= 300   # 50 seeds x 6 variants
-    assert by_mode["delay"]["cells"] >= 240    # ~40 deferrals x 6 variants
+    assert by_mode["canonical"]["cells"] == 8
+    assert by_mode["random"]["cells"] >= 600   # 20 seeds x specs x variants
+    assert by_mode["delay"]["cells"] >= 300    # ~10 deferrals per fault cell
+    # The under-covered corners the extension sweep added: scenario
+    # cells run under BOTH idle strategies (park gate + adversaries).
+    assert by_mode["scenario"]["cells"] >= 40
+    assert by_mode["scenario-park"]["cells"] >= 40
+    assert by_mode["service"]["cells"] >= 12
     assert all(m["failed"] == 0 for m in by_mode.values())
+
+
+def test_committed_sweep_covers_every_variant():
+    """The per-variant ledger: each variant keeps a real share of the
+    matrix, and the relaxed-multiplicity cells were not vacuous."""
+    report = json.loads(REPORT.read_text())
+    by_variant = report["totals"]["by_variant"]
+    for variant in ("upc-sharedmem", "upc-term", "upc-term-rapdif",
+                    "upc-distmem", "upc-distmem-hier", "mpi-ws",
+                    "ws-fencefree", "tree-split"):
+        assert by_variant[variant]["cells"] >= 100, variant
+        assert by_variant[variant]["failed"] == 0, variant
+    # ws-fencefree's stale plans must actually open the duplication
+    # window (a clean sweep where no cell ever duplicated would prove
+    # nothing about I1'/I3'); strict-mode variants must never dup.
+    assert by_variant["ws-fencefree"]["dup_cells"] >= 10
+    for variant, counts in by_variant.items():
+        if variant != "ws-fencefree":
+            assert counts["dup_cells"] == 0, variant

@@ -1,0 +1,59 @@
+"""Pins for the two fence-free claim-window bugs the fuzzer caught.
+
+Both were found by the schedule fuzzer while `ws-fencefree` was being
+brought up, shrunk by hand to the cells below, and fixed in the same
+change that introduced the variant.  The pre-fix failures:
+
+1. **Torn claim window** (I3 violation: ``node ... owned twice:
+   T6.local and T7.local``).  The thief paid its claim-store latency
+   *between* reading the head cursor and marking the era index
+   claimed, so every thief that probed the victim inside that yield
+   read the same head value and all of them took the chunk -- on a
+   *fault-free* run, where duplication is forbidden.  Fix: the
+   read-resolve-claim sequence runs in one generator frame (no yield),
+   and the store latency is paid after the claim is journaled.
+
+2. **Phantom head cursor** (fault-free ``dup_work=16354`` on the
+   canonical schedule -- 84% of the tree visited twice).  Owner
+   reacquires popped the newest live chunk without ever advancing the
+   head cursor, leaving a permanent ``head < tail`` window over an
+   already-claimed index; every later thief re-took it "race-free".
+   Fix: the head cursor advertises the minimum *live* era index and is
+   re-advertised after every thief claim and owner reacquire.
+
+The cells assert their post-fix form: fault-free fence-free runs now
+conserve nodes exactly (``dup_work == 0``), under the canonical
+schedule and the random schedules that first exposed the race.
+"""
+
+from repro.check import check_run
+
+CELL = dict(variant="ws-fencefree", threads=8, chunk_size=4,
+            preset="kittyhawk", b0=64, q=0.48, m=2, tree_seed=1)
+
+
+def test_fencefree_canonical_faultfree_no_duplication():
+    out = check_run(**CELL)
+    assert out.ok, f"{out.error_type}: {out.error}"
+    assert out.dup_work == 0
+    assert out.total_nodes == 3009
+
+
+def test_fencefree_random_schedules_faultfree_no_duplication():
+    # Seeds 0-7 cover the original I3-violating interleaving (two
+    # thieves probing one victim in the same timestamp batch).
+    for seed in range(8):
+        out = check_run(schedule_seed=seed, **CELL)
+        assert out.ok, f"seed {seed}: {out.error_type}: {out.error}"
+        assert out.dup_work == 0, f"seed {seed} duplicated work"
+        assert out.total_nodes == 3009, f"seed {seed} lost nodes"
+
+
+def test_fencefree_stale_window_duplicates_are_ledgered():
+    """The converse guard: with stale reads the duplication window is
+    *supposed* to open, and I1'/I3' must hold over the ledger (a
+    vacuously-closed window would pin nothing)."""
+    out = check_run(fault_spec="stale=0.4,stale-window=60us",
+                    fault_seed=0, **CELL)
+    assert out.ok, f"{out.error_type}: {out.error}"
+    assert out.total_nodes == 3009 + out.dup_work

@@ -162,3 +162,79 @@ def test_describe_inventory_keys(clean_env):
     assert set(info) >= {"core_available", "numpy_available",
                          "resolved_auto", "env"}
     assert info["resolved_auto"] in ("pure", "fast")
+
+
+# -- fuzzer cells never run compiled (anti-vacuity) ------------------
+#
+# check_run/check_service_run force fastpath="pure": the invariant
+# monitor's emit hooks and the tie-break/fault machinery must observe
+# every transition from the Python loops.  A fuzzer cell that silently
+# ran the compiled backend would fuzz nothing -- these tests pin the
+# contract for each cell feature (tie-breaks, deferrals, park gates,
+# fault plans, service mode), plus the converse: an ordinary run on
+# the same host really does select the compiled core, so the pin is
+# not vacuously green on a pure-only build.
+
+from repro.check import check_run, check_service_run  # noqa: E402
+from repro.check.invariants import InvariantMonitor  # noqa: E402
+
+
+@pytest.fixture
+def backend_spy(monkeypatch):
+    """Record the resolved backend of every checked run."""
+    seen = []
+    orig = InvariantMonitor.final_check
+
+    def spy(self):
+        sim = self.machine.sim
+        seen.append((sim.fastpath, sim.fastpath_active))
+        return orig(self)
+
+    monkeypatch.setattr(InvariantMonitor, "final_check", spy)
+    return seen
+
+
+CHECK_CELL = dict(threads=4, chunk_size=2, b0=24, q=0.4)
+
+
+@pytest.mark.parametrize("extra", [
+    {"schedule_seed": 5},                                # tie-break
+    {"defer": (10,)},                                    # deferral
+    {"idle_strategy": "park"},                           # idle gate
+    {"fault_spec": "stale=0.3,stale-window=40us"},       # fault plan
+])
+@pytest.mark.parametrize("variant", ["upc-distmem", "ws-fencefree",
+                                     "tree-split"])
+def test_fuzzer_cells_never_compiled(clean_env, backend_spy, variant,
+                                     extra):
+    out = check_run(variant, **CHECK_CELL, **extra)
+    assert out.ok, f"{out.error_type}: {out.error}"
+    assert backend_spy == [("pure", False)]
+
+
+def test_service_cells_never_compiled(clean_env, backend_spy):
+    out = check_service_run(threads=4, n_tasks=20,
+                            schedule_seed=2, idle_strategy="park")
+    assert out.ok, f"{out.error_type}: {out.error}"
+    assert backend_spy == [("pure", False)]
+
+
+def test_plain_run_on_same_host_selects_compiled(clean_env):
+    """The converse pin: outside the checker, auto really compiles
+    here -- proving the pure pins above are a deliberate downgrade,
+    not the only thing this host can do."""
+    if not fp.available():
+        pytest.skip("extension not built on this host")
+    from repro import TreeParams, run_experiment
+    from repro.obs import TraceSink
+
+    class MachineSpy(TraceSink):
+        def attach_algorithm(self, algo):
+            self.sim = algo.machine.sim
+
+    spy = MachineSpy()
+    run_experiment("upc-distmem",
+                   tree=TreeParams.binomial(b0=24, q=0.4, seed=1),
+                   threads=4, preset="kittyhawk", chunk_size=2,
+                   tracer=spy)
+    assert spy.sim.fastpath_active

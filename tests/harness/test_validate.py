@@ -10,8 +10,8 @@ def test_small_grid_passes():
     report = validate_grid(seeds=[0], thread_counts=[1, 4],
                            chunk_sizes=[2], presets=["kittyhawk"])
     assert report.ok
-    # 6 algorithms x 2 thread counts x 1 chunk x 1 preset
-    assert report.runs == 12
+    # 8 algorithms x 2 thread counts x 1 chunk x 1 preset
+    assert report.runs == 16
     assert "PASS" in report.render()
 
 

@@ -34,9 +34,9 @@ def test_quickstart_snippet_from_readme():
 def test_algorithm_registry_matches_figure3():
     assert set(repro.ALGORITHMS) == {
         "upc-sharedmem", "upc-term", "upc-term-rapdif", "upc-distmem",
-        "mpi-ws", "upc-distmem-hier",
+        "mpi-ws", "upc-distmem-hier", "ws-fencefree", "tree-split",
     }
-    # FIGURE_ORDER covers the paper's five; the hier extension is extra.
+    # FIGURE_ORDER covers the paper's five; the extensions are extra.
     assert set(repro.FIGURE_ORDER) <= set(repro.ALGORITHMS)
 
 

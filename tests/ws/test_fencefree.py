@@ -1,0 +1,124 @@
+"""The fence-free relaxed-steal variant (``ws-fencefree``).
+
+The protocol (Castañeda & Piña, arXiv:2008.04424) removes every lock
+transaction from the steal path: the owner releases and reacquires on
+plain shared writes, the thief steals on two plain shared reads plus a
+claim store.  The price is *relaxed semantics* -- when a thief's read
+of the claim cursor is stale, it may take an already-claimed chunk and
+duplicate its subtree.  The contract under test:
+
+* **Fault-free runs conserve exactly.**  Without stale-read faults
+  every read is exact, the claim window never opens, and the run is as
+  strict as the locked variants (``dup_work == 0``).
+* **Stale runs duplicate boundedly and account for it.**  Every
+  duplicate is ledgered (``dup_extra``/``dup_work``), emitted as a
+  ``steal.dup`` event, and balances the conservation equation
+  ``total == expected + dup_work``.
+* **Unsupported knobs fail closed** at construction: multi-chunk steal
+  amounts, non-streamlined termination, fail-stop fault plans.
+"""
+
+import pytest
+
+from repro import (TreeParams, WsConfig, expected_node_count,
+                   run_experiment)
+from repro.errors import ConfigError
+from repro.faults.plan import parse_fault_spec
+from repro.obs import TraceSink
+
+TREE = TreeParams.binomial(b0=64, q=0.48, m=2, seed=1)   # 3009 nodes
+KW = dict(tree=TREE, threads=8, preset="kittyhawk", chunk_size=4)
+STALE = "stale=0.4,stale-window=60us"
+
+
+# -- fault-free: as strict as the locked variants --------------------
+
+def test_faultfree_conserves_exactly():
+    res = run_experiment("ws-fencefree", verify=True, **KW)
+    assert res.total_nodes == expected_node_count(TREE) == 3009
+    assert res.dup_work == 0
+    assert res.lost_work == 0
+
+
+def test_faultfree_never_emits_dup_events():
+    sink = TraceSink()
+    res = run_experiment("ws-fencefree", tracer=sink, **KW)
+    assert sink.counts_by_kind().get("steal.dup", 0) == 0
+    assert res.stats.steals_ok > 0  # the lock-free path did steal
+
+
+@pytest.mark.parametrize("threads", [2, 5, 16])
+def test_faultfree_conserves_across_thread_counts(threads):
+    res = run_experiment("ws-fencefree", tree=TREE, threads=threads,
+                         preset="kittyhawk", chunk_size=4, verify=True)
+    assert res.total_nodes == 3009
+    assert res.dup_work == 0
+
+
+# -- stale windows: the duplication path -----------------------------
+
+def test_stale_duplicates_are_ledgered_and_balance():
+    plan = parse_fault_spec(STALE, seed=0)
+    sink = TraceSink()
+    res = run_experiment("ws-fencefree", faults=plan, tracer=sink,
+                         verify=True, **KW)
+    assert res.dup_work > 0, "stale plan never opened the claim window"
+    assert res.total_nodes == 3009 + res.dup_work
+    dups = [e for e in sink.events() if e.kind == "steal.dup"]
+    assert dups, "duplication happened without a steal.dup event"
+    for e in dups:
+        assert e.args["work"] >= e.args["nodes"] >= 1
+    # Every duplicated subtree is announced: the event ledger's work
+    # total is the result's dup_work.
+    assert sum(e.args["work"] for e in dups) == res.dup_work
+
+
+def test_stale_run_is_deterministic():
+    a = run_experiment("ws-fencefree",
+                       faults=parse_fault_spec(STALE, seed=3), **KW)
+    b = run_experiment("ws-fencefree",
+                       faults=parse_fault_spec(STALE, seed=3), **KW)
+    assert a.sim_time == b.sim_time
+    assert a.total_nodes == b.total_nodes
+    assert a.dup_work == b.dup_work
+
+
+def test_stale_tail_read_only_under_reports():
+    """A stale *tail* makes a thief see fewer released chunks and
+    refuse -- never take garbage.  Sweep seeds: whatever each plan
+    staled, conservation must balance against the dup ledger."""
+    for seed in range(6):
+        plan = parse_fault_spec("stale=0.6,stale-window=100us", seed=seed)
+        res = run_experiment("ws-fencefree", faults=plan, verify=True,
+                             **KW)
+        assert res.total_nodes == 3009 + res.dup_work, f"seed {seed}"
+
+
+# -- gating: unsupported knobs fail closed ---------------------------
+
+def test_multi_chunk_steal_policy_rejected():
+    cfg = WsConfig(chunk_size=4, steal_policy="half")
+    with pytest.raises(ConfigError, match=r"steal policies.*'half'"):
+        run_experiment("ws-fencefree", tree=TREE, threads=4,
+                       config=cfg)
+
+
+def test_non_streamlined_termination_rejected():
+    cfg = WsConfig(chunk_size=4, termination_policy="token")
+    with pytest.raises(ConfigError, match=r"termination policies"):
+        run_experiment("ws-fencefree", tree=TREE, threads=4,
+                       config=cfg)
+
+
+def test_failstop_fault_plan_rejected():
+    plan = parse_fault_spec("kill=3@103us", seed=0)
+    with pytest.raises(ConfigError, match=r"fault classes.*kill"):
+        run_experiment("ws-fencefree", faults=plan, **KW)
+
+
+def test_stall_fault_plan_rejected():
+    """No locks -> nothing to stall; the plan is meaningless here and
+    must not silently no-op."""
+    plan = parse_fault_spec("stall=0.3,stale=0.2", seed=0)
+    with pytest.raises(ConfigError, match=r"fault classes"):
+        run_experiment("ws-fencefree", faults=plan, **KW)

@@ -1,0 +1,111 @@
+"""Per-variant policy gating: unsupported pairings fail closed.
+
+Every algorithm registers the (steal, victim, termination) triple it
+natively runs (``repro.ws.registry.VARIANT_TRIPLES``) plus the policy
+keys it can *host* as overrides (``steal_policies`` /
+``victim_policies`` / ``termination_policies`` class attributes).  A
+config naming anything outside those sets must raise
+:class:`~repro.errors.ConfigError` at construction, and the error must
+name the registered alternatives -- a user staring at a traceback
+should not need the source to find a legal value.
+"""
+
+import pytest
+
+from repro import TreeParams, WsConfig, run_experiment
+from repro.errors import ConfigError
+from repro.ws.algorithms import ALGORITHMS, get_algorithm
+from repro.ws.registry import (STEAL_AMOUNTS, TERMINATION_POLICIES,
+                               VARIANT_TRIPLES, VICTIM_POLICIES,
+                               variant_triple)
+
+TREE = TreeParams.binomial(b0=20, q=0.3, m=2, seed=2)
+
+
+# -- the triple table stays honest -----------------------------------
+
+def test_every_algorithm_has_a_registered_triple():
+    assert set(VARIANT_TRIPLES) == set(ALGORITHMS)
+
+
+@pytest.mark.parametrize("name", sorted(VARIANT_TRIPLES))
+def test_triple_matches_class_attributes(name):
+    steal, victim, termination = variant_triple(name)
+    cls = get_algorithm(name)
+    assert cls.steal_amount is STEAL_AMOUNTS.get(steal)
+    assert cls.victim_policy == victim
+    assert cls.termination_policies[0] == termination
+
+
+@pytest.mark.parametrize("name", sorted(VARIANT_TRIPLES))
+def test_triple_entries_are_registered_policies(name):
+    steal, victim, termination = variant_triple(name)
+    STEAL_AMOUNTS.validate(steal)
+    VICTIM_POLICIES.validate(victim)
+    TERMINATION_POLICIES.validate(termination)
+
+
+def test_unknown_variant_names_alternatives():
+    with pytest.raises(ConfigError) as exc:
+        variant_triple("upc-distemm")
+    assert "ws-fencefree" in str(exc.value)
+    assert "tree-split" in str(exc.value)
+
+
+# -- native triples run; hosted overrides run ------------------------
+
+@pytest.mark.parametrize("name", sorted(VARIANT_TRIPLES))
+def test_native_triple_is_accepted_explicitly(name):
+    """Spelling a variant's own triple out in the config must be a
+    no-op, not a gating error."""
+    steal, victim, termination = variant_triple(name)
+    cfg = WsConfig(chunk_size=4, steal_policy=steal,
+                   victim_policy=victim, termination_policy=termination)
+    res = run_experiment(name, tree=TREE, threads=4, config=cfg,
+                         verify=True)
+    assert res.total_nodes > 0
+
+
+# -- unsupported pairings fail closed, naming alternatives -----------
+
+@pytest.mark.parametrize("name,kw,alternatives", [
+    ("ws-fencefree", {"steal_policy": "half"}, "['one']"),
+    ("ws-fencefree", {"steal_policy": "all"}, "['one']"),
+    ("ws-fencefree", {"termination_policy": "token"}, "['streamlined']"),
+    ("ws-fencefree", {"termination_policy": "cancelable-barrier"},
+     "['streamlined']"),
+    ("tree-split", {"steal_policy": "half"}, "['one']"),
+    ("tree-split", {"victim_policy": "hierarchical"}, "['uniform']"),
+    ("tree-split", {"termination_policy": "streamlined"}, "['none']"),
+    ("tree-split", {"termination_policy": "token"}, "['none']"),
+])
+def test_unsupported_pairing_raises_naming_alternatives(
+        name, kw, alternatives):
+    cfg = WsConfig(chunk_size=4, **kw)
+    with pytest.raises(ConfigError) as exc:
+        run_experiment(name, tree=TREE, threads=4, config=cfg)
+    msg = str(exc.value)
+    assert name in msg
+    assert alternatives in msg
+    (bad,) = kw.values()
+    assert repr(bad) in msg
+
+
+def test_gate_survives_with_chunk_size_derivation():
+    """``with_chunk_size`` re-runs config validation and the derived
+    config still carries the unsupported policy -- the gate must fire
+    on the derived config too (the sweep harness derives configs this
+    way)."""
+    cfg = WsConfig(chunk_size=8, steal_policy="half")
+    derived = cfg.with_chunk_size(2)
+    assert derived.chunk_size == 2
+    with pytest.raises(ConfigError, match=r"ws-fencefree.*steal"):
+        run_experiment("ws-fencefree", tree=TREE, threads=4,
+                       config=derived)
+
+
+def test_with_chunk_size_rejects_unregistered_policy_early():
+    """A policy outside the global registry dies at config time, not
+    at algorithm construction."""
+    with pytest.raises(ConfigError):
+        WsConfig(chunk_size=8, steal_policy="most")

@@ -1,0 +1,134 @@
+"""The static tree-splitting variant (``tree-split``).
+
+El-Mahdy's scheme (arXiv:1710.00122) replaces asynchronous stealing
+with bulk-synchronous *rebalance rounds*: every thread explores its
+partition for a bounded number of batches, all threads meet at a
+counted barrier, and the last arriver repartitions the load by greedy
+halving (richest half to poorest, until the spread is under one
+chunk).  Termination is structural -- the round that finds the whole
+machine empty declares it; no detector runs between rounds
+(``termination_policy="none"``).
+
+Contract under test: exact conservation (no relaxed window exists --
+moves happen inside the barrier, single-threaded), the round/rebalance
+event stream, rebalance moves accounted through the steal counters,
+and the policy gates failing closed.
+"""
+
+import pytest
+
+from repro import (TreeParams, WsConfig, expected_node_count,
+                   run_experiment)
+from repro.errors import ConfigError
+from repro.faults.plan import parse_fault_spec
+from repro.obs import TraceSink
+
+TREE = TreeParams.binomial(b0=64, q=0.48, m=2, seed=1)   # 3009 nodes
+KW = dict(tree=TREE, threads=8, preset="kittyhawk", chunk_size=4)
+
+
+def test_conserves_exactly():
+    res = run_experiment("tree-split", verify=True, **KW)
+    assert res.total_nodes == expected_node_count(TREE) == 3009
+    assert res.dup_work == 0
+    assert res.lost_work == 0
+
+
+def test_round_structure_and_termination_event():
+    sink = TraceSink()
+    res = run_experiment("tree-split", tracer=sink, **KW)
+    term = [e for e in sink.events() if e.kind == "tsplit.term"]
+    assert len(term) == 1, "exactly one round declares termination"
+    rebalances = [e for e in sink.events()
+                  if e.kind == "tsplit.rebalance"]
+    assert rebalances, "a skewed root partition must trigger moves"
+    rounds = [e.args["round"] for e in rebalances]
+    assert rounds == sorted(rounds)
+    assert term[0].args["round"] > rounds[-1]
+    # Every rebalance happens strictly inside a barrier episode:
+    # all ranks entered at least as many barriers as rounds ran.
+    n_rounds = term[0].args["round"] + 1
+    for st in res.per_thread:
+        assert st.barrier_entries >= n_rounds
+
+
+def test_rebalance_moves_show_up_as_steals():
+    """The rebalancer books each move on the recipient's steal
+    counters, so cross-variant load-balance analyses keep working."""
+    sink = TraceSink()
+    res = run_experiment("tree-split", tracer=sink, **KW)
+    moved = sum(e.args["nodes"] for e in sink.events()
+                if e.kind == "tsplit.rebalance")
+    assert res.stats.nodes_stolen == moved > 0
+    assert res.stats.steals_ok == res.stats.chunks_stolen
+
+
+def test_no_asynchronous_steal_traffic():
+    """No thief-side protocol runs: no steal requests, no remote
+    chunk.get transfers outside the rebalance rounds' accounting."""
+    sink = TraceSink()
+    run_experiment("tree-split", tracer=sink, **KW)
+    counts = sink.counts_by_kind()
+    assert counts.get("steal.req", 0) == 0
+    assert counts.get("steal.fail", 0) == 0
+    assert counts.get("lock.acq", 0) == 0
+
+
+def test_single_thread_degenerates_to_sequential():
+    res = run_experiment("tree-split", tree=TREE, threads=1,
+                         preset="kittyhawk", chunk_size=4, verify=True)
+    assert res.total_nodes == 3009
+    assert res.stats.nodes_stolen == 0
+
+
+def test_park_idle_strategy_is_legal_noop():
+    """tree-split threads never sit in a steal loop, but the park
+    knob must remain accepted (scenario sweeps set it globally)."""
+    cfg = WsConfig(chunk_size=4, idle_strategy="park")
+    res = run_experiment("tree-split", tree=TREE, threads=8,
+                         config=cfg, verify=True)
+    assert res.total_nodes == 3009
+
+
+def test_deterministic():
+    a = run_experiment("tree-split", **KW)
+    b = run_experiment("tree-split", **KW)
+    assert a.sim_time == b.sim_time
+    assert [s.nodes_visited for s in a.per_thread] == \
+        [s.nodes_visited for s in b.per_thread]
+
+
+# -- gating ----------------------------------------------------------
+
+def test_hierarchical_victim_policy_rejected():
+    cfg = WsConfig(chunk_size=4, victim_policy="hierarchical")
+    with pytest.raises(ConfigError, match=r"victim policies"):
+        run_experiment("tree-split", tree=TREE, threads=4, config=cfg)
+
+
+def test_multi_chunk_steal_policy_rejected():
+    cfg = WsConfig(chunk_size=4, steal_policy="all")
+    with pytest.raises(ConfigError, match=r"steal policies.*'all'"):
+        run_experiment("tree-split", tree=TREE, threads=4, config=cfg)
+
+
+def test_detector_termination_rejected():
+    cfg = WsConfig(chunk_size=4, termination_policy="streamlined")
+    with pytest.raises(ConfigError, match=r"termination policies"):
+        run_experiment("tree-split", tree=TREE, threads=4, config=cfg)
+
+
+def test_failstop_fault_plan_rejected():
+    plan = parse_fault_spec("kill=3@103us", seed=0)
+    with pytest.raises(ConfigError, match=r"fault classes.*kill"):
+        run_experiment("tree-split", faults=plan, **KW)
+
+
+def test_stale_plan_tolerated_and_exact():
+    """Stale windows are inert here (rebalance reads happen inside
+    the barrier), but the plan is in the supported class and the run
+    must stay exact."""
+    plan = parse_fault_spec("stale=0.5,stale-window=80us", seed=1)
+    res = run_experiment("tree-split", faults=plan, verify=True, **KW)
+    assert res.total_nodes == 3009
+    assert res.dup_work == 0

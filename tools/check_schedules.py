@@ -38,6 +38,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.check import (VARIANTS, check_run, check_service_run,  # noqa: E402
                          reproducer_source, shrink)
+from repro.faults.plan import parse_fault_spec  # noqa: E402
+from repro.scenarios import get_scenario  # noqa: E402
+from repro.ws.algorithms import get_algorithm  # noqa: E402
 
 #: Base cell every sweep point starts from (small tree: a full sweep
 #: must fit in a CI minute; see docs/correctness.md for deep budgets).
@@ -53,8 +56,45 @@ BASE_CELL = {
 }
 
 
+#: Variants whose correctness story lives in the stale-read window
+#: (fence-free multiplicity; tree-split's no-remote-read baseline):
+#: their sweep always includes stale plans, whatever --fault-specs says.
+STALE_VARIANTS = ("ws-fencefree", "tree-split")
+STALE_SPECS = ("stale=0.3,stale-window=40us",
+               "stale=0.5,stale-window=80us")
+
+
 def _slug(text: str) -> str:
     return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def _spec_supported(variant: str, spec: str) -> bool:
+    """Whether ``variant`` tolerates every fault class in ``spec``
+    (algorithms with a restricted ``fault_classes`` catalog reject
+    incompatible plans at construction -- filter, don't crash)."""
+    allowed = get_algorithm(variant).fault_classes
+    if allowed is None:
+        return True
+    plan = parse_fault_spec(spec, seed=0)
+    return set(plan.fault_classes) <= set(allowed)
+
+
+def _variant_specs(variant: str, fault_specs) -> list:
+    """The fault specs ``variant`` actually sweeps: the requested ones
+    it supports, plus the stale plans for the stale-window variants.
+    Skips are printed -- a silently narrowed matrix would read as
+    covered when it is not."""
+    specs = []
+    for spec in fault_specs:
+        if _spec_supported(variant, spec):
+            specs.append(spec)
+        else:
+            allowed = sorted(get_algorithm(variant).fault_classes)
+            print(f"NOTE {variant}: skipping fault spec {spec!r} "
+                  f"(variant supports only {allowed})", flush=True)
+    if variant in STALE_VARIANTS:
+        specs.extend(s for s in STALE_SPECS if s not in specs)
+    return specs
 
 
 def run_cell(cell: dict) -> dict:
@@ -67,6 +107,7 @@ def run_cell(cell: dict) -> dict:
         "error": out.error,
         "engine_events": out.engine_events,
         "total_nodes": out.total_nodes,
+        "dup_work": out.dup_work,
         "host_seconds": round(time.perf_counter() - t0, 4),
         "monitor": out.monitor,
     }
@@ -75,8 +116,8 @@ def run_cell(cell: dict) -> dict:
 def sweep(variants, seeds, delay_budget, fault_specs, fault_seeds,
           base_cell, progress=True):
     """Yield one result dict per cell, canonical cells first."""
-    specs = [None] + list(fault_specs)
     for variant in variants:
+        specs = [None] + _variant_specs(variant, fault_specs)
         # Canonical schedule first: it anchors the delay-bounded mode
         # (deferral points are spread over its event count) and proves
         # the monitor passes the pinned schedule.
@@ -112,18 +153,54 @@ def sweep(variants, seeds, delay_budget, fault_specs, fault_seeds,
 #: dup scenarios only in *faulted* mode (sequence dedup suppresses the
 #: duplicates by design), which the scenario sweep below stays clear of
 #: anyway (scenario cells are fault-free; the fault matrix is separate).
-SCENARIO_VARIANTS = ("upc-distmem", "upc-term")
+#: ws-fencefree probes the unsynchronised claim race under skewed
+#: speeds; tree-split covers the barrier/rebalance path (its policy
+#: gates drop the hierarchical-victim scenarios via
+#: :func:`_scenario_supported`).
+SCENARIO_VARIANTS = ("upc-distmem", "upc-term", "ws-fencefree",
+                     "tree-split")
+
+
+def _scenario_supported(variant: str, scenario: str) -> bool:
+    """Whether the scenario's policy overlay is one ``variant``
+    registers support for (e.g. numa-*-locality pins the hierarchical
+    victim policy, which tree-split does not implement)."""
+    sc = get_scenario(scenario)
+    cls = get_algorithm(variant)
+    if (sc.victim_policy is not None
+            and cls.victim_policies is not None
+            and sc.victim_policy not in cls.victim_policies):
+        return False
+    if (sc.steal_policy is not None
+            and cls.steal_policies is not None
+            and sc.steal_policy not in cls.steal_policies):
+        return False
+    if (sc.termination_policy is not None
+            and sc.termination_policy not in cls.termination_policies):
+        return False
+    return True
 
 
 def scenario_sweep(scenarios, seeds, base_cell):
-    """Yield one result dict per (scenario, variant, schedule) cell."""
+    """Yield one result dict per (scenario, variant, idle, schedule)
+    cell.  Both idle strategies run: scenario cells are fault-free, so
+    ``park`` is always legal, and the park gate under adversarial
+    speed skew is exactly the under-covered corner this sweep exists
+    to probe."""
     for scenario in scenarios:
         for variant in SCENARIO_VARIANTS:
-            cell = {**base_cell, "variant": variant, "scenario": scenario}
-            yield {**run_cell(cell), "mode": "scenario"}
-            for s in range(seeds):
-                yield {**run_cell({**cell, "schedule_seed": s}),
-                       "mode": "scenario"}
+            if not _scenario_supported(variant, scenario):
+                print(f"NOTE {variant}: skipping scenario {scenario!r} "
+                      f"(unsupported policy pairing)", flush=True)
+                continue
+            for idle in ("poll", "park"):
+                mode = "scenario" if idle == "poll" else "scenario-park"
+                cell = {**base_cell, "variant": variant,
+                        "scenario": scenario, "idle_strategy": idle}
+                yield {**run_cell(cell), "mode": mode}
+                for s in range(seeds):
+                    yield {**run_cell({**cell, "schedule_seed": s}),
+                           "mode": mode}
 
 
 #: Service-mode cell for the open-system invariants (extended I1 task
@@ -301,6 +378,7 @@ def main(argv=None) -> int:
             "cells": len(results),
             "failed": len(failures),
             "by_mode": _by_mode(results),
+            "by_variant": _by_variant(results),
         },
         "failures": [
             {k: r[k] for k in ("cell", "mode", "error_type", "error")}
@@ -337,6 +415,23 @@ def _by_mode(results):
         m = out.setdefault(mode, {"cells": 0, "failed": 0})
         m["cells"] += 1
         m["failed"] += not r["ok"]
+    return out
+
+
+def _by_variant(results):
+    """Per-variant cell/failure counts (the CI artifact's coverage
+    ledger: a variant silently dropping out of the matrix shows up as
+    a missing key, not as a green sweep).  ``dup_cells`` counts cells
+    whose run took at least one ledgered duplicate -- evidence the
+    relaxed-multiplicity path was exercised, not vacuously green."""
+    out = {}
+    for r in results:
+        variant = r["cell"].get("variant", "service-ws")
+        m = out.setdefault(variant, {"cells": 0, "failed": 0,
+                                     "dup_cells": 0})
+        m["cells"] += 1
+        m["failed"] += not r["ok"]
+        m["dup_cells"] += bool(r.get("dup_work"))
     return out
 
 

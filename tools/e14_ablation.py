@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""E14 ablation: fence-free relaxed stealing vs the locked baseline.
+
+Two questions, one report:
+
+* **Protocol cost (fault-free)** -- what do `ws-fencefree`'s two plain
+  reads + one claim store buy over `upc-distmem`'s request/response
+  round-trip, and what does `tree-split`'s no-stealing round structure
+  cost, on flat and NUMA machines?  Every cell is verified against the
+  sequential count and run under the invariant monitor.
+* **Stale-read degradation** -- as stale-visibility windows widen, the
+  fence-free claim race duplicates work (exactly ledgered as
+  `dup_work`); the locked baseline under the same plans only wastes
+  probes.  How fast does the duplicated fraction grow, and when does
+  it eat the protocol's latency advantage?
+
+Writes ``E14_report.json`` (the artifact behind EXPERIMENTS.md E14)
+and exits non-zero on any invariant or verification failure.
+
+Usage::
+
+    PYTHONPATH=src python tools/e14_ablation.py          # full numbers
+    PYTHONPATH=src python tools/e14_ablation.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import TreeParams, expected_node_count, run_experiment  # noqa: E402
+from repro.check.invariants import InvariantMonitor  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.faults.plan import parse_fault_spec  # noqa: E402
+
+VARIANTS = ("upc-distmem", "ws-fencefree", "tree-split")
+PRESETS = ("kittyhawk", "numa-2x")
+#: Stale-read plans for the degradation axis, mildest first.  Only
+#: the stale-tolerant variants run these (upc-distmem tolerates them
+#: through denial/retry; ws-fencefree through ledgered duplication).
+STALE_AXIS = ("stale=0.1,stale-window=20us",
+              "stale=0.2,stale-window=40us",
+              "stale=0.4,stale-window=60us")
+STALE_VARIANTS = ("upc-distmem", "ws-fencefree")
+
+
+def run_cell(variant, tree, threads, chunk_size, preset, fault_spec,
+             max_events):
+    monitor = InvariantMonitor()
+    plan = (parse_fault_spec(fault_spec, seed=0) if fault_spec else None)
+    cell = {"variant": variant, "preset": preset,
+            "fault_spec": fault_spec or "none", "threads": threads,
+            "chunk_size": chunk_size}
+    t0 = time.perf_counter()
+    try:
+        res = run_experiment(variant, tree=tree, threads=threads,
+                             preset=preset, chunk_size=chunk_size,
+                             verify=True, tracer=monitor, faults=plan,
+                             max_events=max_events)
+        monitor.final_check()
+    except ReproError as exc:
+        return {**cell, "ok": False, "error_type": type(exc).__name__,
+                "error": str(exc),
+                "host_seconds": round(time.perf_counter() - t0, 4)}
+    return {
+        **cell, "ok": True,
+        "sim_time": res.sim_time,
+        "total_nodes": res.total_nodes,
+        "dup_work": res.dup_work,
+        "steal_attempts": sum(s.steal_attempts for s in res.per_thread),
+        "steals_ok": sum(s.steals_ok for s in res.per_thread),
+        "probes": sum(s.probes for s in res.per_thread),
+        "efficiency": round(res.efficiency, 4),
+        "host_seconds": round(time.perf_counter() - t0, 4),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small tree (CI smoke; same grid)")
+    ap.add_argument("--threads", type=int, default=16)
+    ap.add_argument("--chunk-size", type=int, default=4)
+    ap.add_argument("--max-events", type=int, default=5_000_000)
+    ap.add_argument("--out", default="E14_report.json")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        tree = TreeParams.binomial(b0=64, q=0.48, m=2, seed=1)
+        threads = min(args.threads, 8)
+    else:
+        tree = TreeParams.binomial(b0=500, q=0.124, m=8, seed=0)
+        threads = args.threads
+    expected = expected_node_count(tree)
+
+    t0 = time.perf_counter()
+    cells, failures = [], []
+
+    def consume(cell, tag):
+        cells.append(cell)
+        if cell["ok"]:
+            dup = (f" dup={cell['dup_work']}" if cell["dup_work"] else "")
+            print(f"ok   {tag:44s} t={cell['sim_time'] * 1e3:8.3f}ms "
+                  f"steals={cell['steals_ok']}{dup}", flush=True)
+        else:
+            failures.append(cell)
+            print(f"FAIL {tag:44s} {cell['error_type']}: {cell['error']}",
+                  flush=True)
+
+    # Axis 1: fault-free protocol cost on flat + NUMA machines.
+    for preset in PRESETS:
+        for variant in VARIANTS:
+            cell = run_cell(variant, tree, threads, args.chunk_size,
+                            preset, None, args.max_events)
+            consume(cell, f"{variant}/{preset}/fault-free")
+
+    # Axis 2: stale-read degradation (kittyhawk; the fault plan, not
+    # the machine, is the variable under study).
+    for spec in STALE_AXIS:
+        for variant in STALE_VARIANTS:
+            cell = run_cell(variant, tree, threads, args.chunk_size,
+                            "kittyhawk", spec, args.max_events)
+            consume(cell, f"{variant}/kittyhawk/{spec}")
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "argv": sys.argv[1:],
+            "variants": list(VARIANTS),
+            "threads": threads,
+            "chunk_size": args.chunk_size,
+            "tree": tree.describe(),
+            "expected_nodes": expected,
+            "stale_axis": list(STALE_AXIS),
+            "host_seconds": round(time.perf_counter() - t0, 2),
+        },
+        "totals": {"cells": len(cells), "failed": len(failures)},
+        "cells": cells,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    ok_cells = [c for c in cells if c["ok"]]
+    base = {(c["preset"], c["fault_spec"]): c for c in ok_cells
+            if c["variant"] == "upc-distmem"}
+    print(f"\n{len(cells)} cell(s), {len(failures)} failure(s) in "
+          f"{report['meta']['host_seconds']}s -> {args.out}")
+    for c in ok_cells:
+        ref = base.get((c["preset"], c["fault_spec"]))
+        rel = (f"{ref['sim_time'] / c['sim_time']:.3f}x vs locked"
+               if ref and c is not ref else "baseline")
+        dup_pct = 100.0 * c["dup_work"] / expected
+        print(f"  {c['variant']:14s} {c['preset']:10s} "
+              f"{c['fault_spec']:26s} t={c['sim_time'] * 1e3:8.3f}ms "
+              f"dup={dup_pct:5.2f}%  {rel}")
+    print("CLEAN ABLATION" if not failures else "FAILURES FOUND")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

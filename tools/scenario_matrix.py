@@ -2,10 +2,13 @@
 """E13 scenario matrix: locality-aware vs uniform victim selection
 under NUMA steal-cost asymmetry, with and without hostile workers.
 
-Grid: NUMA preset (numa-2x, numa-8x) x victim policy (uniform,
-hierarchical) x adversary class (none, slow, greedy, dup) on
-``upc-distmem``, every cell run under the PR 5 invariant monitor
-(I1-I5) with full verification.  A second pass smoke-runs every
+Grid: variant (``--variants``; default ``upc-distmem``) x NUMA
+preset (numa-2x, numa-8x) x victim policy (uniform, hierarchical) x
+adversary class (none, slow, greedy, dup), every cell run under the
+PR 5 invariant monitor (I1-I5, or the relaxed I1'/I3' forms for
+multiplicity-relaxed variants) with full verification.  Cells naming
+a policy a variant does not register (e.g. hierarchical victims on
+``tree-split``) are skipped with a printed NOTE, never silently.  A second pass smoke-runs every
 scenario in the catalog (:mod:`repro.scenarios`) through
 :func:`repro.check.check_run`.
 
@@ -35,17 +38,23 @@ from repro.check import check_run  # noqa: E402
 from repro.check.invariants import InvariantMonitor  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
 from repro.scenarios import SCENARIOS, parse_adversaries  # noqa: E402
+from repro.ws.algorithms import get_algorithm  # noqa: E402
 from repro.ws.config import WsConfig  # noqa: E402
 
 PRESETS = ("numa-2x", "numa-8x")
 VICTIMS = ("uniform", "hierarchical")
 #: Adversary classes per the E13 acceptance bar (>= 3 classes).
 ADVERSARIES = (None, "slow:8@1", "greedy@1,2", "dup@1,2")
-VARIANT = "upc-distmem"
+DEFAULT_VARIANTS = ("upc-distmem",)
 
 
-def run_matrix_cell(preset: str, victim: str, adversary, tree,
-                    threads: int, chunk_size: int,
+def _victim_supported(variant: str, victim: str) -> bool:
+    supported = get_algorithm(variant).victim_policies
+    return supported is None or victim in supported
+
+
+def run_matrix_cell(variant: str, preset: str, victim: str, adversary,
+                    tree, threads: int, chunk_size: int,
                     max_events: int) -> dict:
     """One monitored, verified matrix cell."""
     monitor = InvariantMonitor()
@@ -55,12 +64,12 @@ def run_matrix_cell(preset: str, victim: str, adversary, tree,
         adversaries=(parse_adversaries(adversary, threads)
                      if adversary else None),
     )
-    cell = {"variant": VARIANT, "preset": preset, "victim": victim,
+    cell = {"variant": variant, "preset": preset, "victim": victim,
             "adversary": adversary or "none", "threads": threads,
             "chunk_size": chunk_size}
     t0 = time.perf_counter()
     try:
-        res = run_experiment(VARIANT, tree=tree, threads=threads,
+        res = run_experiment(variant, tree=tree, threads=threads,
                              preset=preset, config=cfg, verify=True,
                              tracer=monitor, max_events=max_events)
         monitor.final_check()
@@ -81,23 +90,28 @@ def run_matrix_cell(preset: str, victim: str, adversary, tree,
 
 
 def locality_summary(cells) -> list:
-    """Per (preset, adversary): uniform vs hierarchical sim time."""
-    by_key = {(c["preset"], c["adversary"], c["victim"]): c
+    """Per (variant, preset, adversary): uniform vs hierarchical sim
+    time (only variants that ran both victim policies produce rows)."""
+    by_key = {(c["variant"], c["preset"], c["adversary"], c["victim"]): c
               for c in cells if c["ok"]}
+    variants = sorted({c["variant"] for c in cells})
     rows = []
-    for preset in PRESETS:
-        for adv in (a or "none" for a in ADVERSARIES):
-            u = by_key.get((preset, adv, "uniform"))
-            h = by_key.get((preset, adv, "hierarchical"))
-            if u is None or h is None:
-                continue
-            rows.append({
-                "preset": preset,
-                "adversary": adv,
-                "uniform_time": u["sim_time"],
-                "locality_time": h["sim_time"],
-                "locality_speedup": round(u["sim_time"] / h["sim_time"], 4),
-            })
+    for variant in variants:
+        for preset in PRESETS:
+            for adv in (a or "none" for a in ADVERSARIES):
+                u = by_key.get((variant, preset, adv, "uniform"))
+                h = by_key.get((variant, preset, adv, "hierarchical"))
+                if u is None or h is None:
+                    continue
+                rows.append({
+                    "variant": variant,
+                    "preset": preset,
+                    "adversary": adv,
+                    "uniform_time": u["sim_time"],
+                    "locality_time": h["sim_time"],
+                    "locality_speedup": round(
+                        u["sim_time"] / h["sim_time"], 4),
+                })
     return rows
 
 
@@ -118,6 +132,10 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--quick", action="store_true",
                     help="small tree (CI smoke; same grid)")
+    ap.add_argument("--variants", nargs="+",
+                    default=list(DEFAULT_VARIANTS),
+                    help="algorithm labels to run the grid over "
+                         "(default: upc-distmem)")
     ap.add_argument("--threads", type=int, default=16)
     ap.add_argument("--chunk-size", type=int, default=4)
     ap.add_argument("--max-events", type=int, default=5_000_000)
@@ -139,43 +157,61 @@ def main(argv=None) -> int:
 
     t0 = time.perf_counter()
     cells, failures = [], []
-    for preset in PRESETS:
-        for victim in VICTIMS:
-            for adversary in ADVERSARIES:
-                cell = run_matrix_cell(preset, victim, adversary, tree,
-                                       threads, args.chunk_size,
-                                       args.max_events)
-                cells.append(cell)
-                tag = (f"{preset}/{victim}/{cell['adversary']}")
-                if cell["ok"]:
-                    print(f"ok   {tag:34s} t={cell['sim_time'] * 1e3:8.3f}ms "
-                          f"steals={cell['steals_ok']}", flush=True)
-                else:
-                    failures.append(cell)
-                    print(f"FAIL {tag:34s} {cell['error_type']}: "
-                          f"{cell['error']}", flush=True)
+    for variant in args.variants:
+        for preset in PRESETS:
+            for victim in VICTIMS:
+                if not _victim_supported(variant, victim):
+                    print(f"NOTE {variant}: skipping victim policy "
+                          f"{victim!r} (unsupported)", flush=True)
+                    continue
+                for adversary in ADVERSARIES:
+                    cell = run_matrix_cell(variant, preset, victim,
+                                           adversary, tree, threads,
+                                           args.chunk_size,
+                                           args.max_events)
+                    cells.append(cell)
+                    tag = (f"{variant}/{preset}/{victim}/"
+                           f"{cell['adversary']}")
+                    if cell["ok"]:
+                        print(f"ok   {tag:44s} "
+                              f"t={cell['sim_time'] * 1e3:8.3f}ms "
+                              f"steals={cell['steals_ok']}", flush=True)
+                    else:
+                        failures.append(cell)
+                        print(f"FAIL {tag:44s} {cell['error_type']}: "
+                              f"{cell['error']}", flush=True)
 
     # Catalog smoke: every registered scenario, canonical schedule,
-    # through the same checked-cell machinery the fuzzer uses.
+    # through the same checked-cell machinery the fuzzer uses.  A
+    # scenario pinning a policy a variant does not register is
+    # skipped (the fuzzer applies the same filter).
     catalog = []
     for name in sorted(SCENARIOS):
-        out = check_run(VARIANT, scenario=name,
-                        threads=min(args.threads, 8))
-        entry = {"scenario": name, "ok": out.ok,
-                 "error_type": out.error_type, "error": out.error,
-                 "total_nodes": out.total_nodes,
-                 "sim_time": out.sim_time}
-        catalog.append(entry)
-        if not out.ok:
-            failures.append(entry)
-            print(f"FAIL catalog/{name}: {out.error_type}: {out.error}",
-                  flush=True)
+        sc = SCENARIOS[name]
+        for variant in args.variants:
+            if (sc.victim_policy is not None
+                    and not _victim_supported(variant, sc.victim_policy)):
+                print(f"NOTE {variant}: skipping catalog scenario "
+                      f"{name!r} (unsupported policy pairing)",
+                      flush=True)
+                continue
+            out = check_run(variant, scenario=name,
+                            threads=min(args.threads, 8))
+            entry = {"scenario": name, "variant": variant, "ok": out.ok,
+                     "error_type": out.error_type, "error": out.error,
+                     "total_nodes": out.total_nodes,
+                     "sim_time": out.sim_time}
+            catalog.append(entry)
+            if not out.ok:
+                failures.append(entry)
+                print(f"FAIL catalog/{name}/{variant}: "
+                      f"{out.error_type}: {out.error}", flush=True)
 
     report = {
         "meta": {
             "python": platform.python_version(),
             "argv": sys.argv[1:],
-            "variant": VARIANT,
+            "variants": list(args.variants),
             "threads": threads,
             "tree": tree.describe(),
             "grid": {"presets": list(PRESETS), "victims": list(VICTIMS),
@@ -194,7 +230,8 @@ def main(argv=None) -> int:
           f"{len(failures)} failure(s) in "
           f"{report['meta']['host_seconds']}s -> {args.out}")
     for row in report["locality_vs_uniform"]:
-        print(f"  {row['preset']:8s} adv={row['adversary']:10s} "
+        print(f"  {row['variant']:14s} {row['preset']:8s} "
+              f"adv={row['adversary']:10s} "
               f"locality speedup {row['locality_speedup']:.3f}x")
     print("CLEAN MATRIX" if not failures else "FAILURES FOUND")
     return 0 if not failures else 1
